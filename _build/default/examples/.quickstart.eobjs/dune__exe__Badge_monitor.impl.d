@@ -1,0 +1,1 @@
+examples/badge_monitor.ml: Array List Oasis_badge Oasis_core Oasis_esec Oasis_events Oasis_rdl Oasis_sim Printf Result

@@ -1,0 +1,1 @@
+examples/badge_monitor.mli:

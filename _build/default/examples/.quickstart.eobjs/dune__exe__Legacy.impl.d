@@ -1,0 +1,1 @@
+examples/legacy.ml: Oasis_core Oasis_rdl Oasis_sim Printf Result

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Oasis_core Oasis_rdl Oasis_sim Option Printf Result

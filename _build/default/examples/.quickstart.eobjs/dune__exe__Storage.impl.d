@@ -1,0 +1,1 @@
+examples/storage.ml: List Oasis_core Oasis_mssa Oasis_rdl Oasis_sim Option Printf Result String

@@ -1,0 +1,122 @@
+(* Interworking with legacy systems (§3.3.3, §4.12).
+
+   Two adapters in one world:
+
+   - a Unix-style filing system whose directory-and-file ACL discipline is
+     expressed *in RDL* (per-node ACL statements plus the recursive
+     InDir/Root rules), so OASIS can reason about it and issue genuine
+     certificates for it;
+
+   - an organisational-role bridge mirroring externally-managed roles
+     (manager, project_leader) as OASIS certificates, which then open doors
+     at a native OASIS service.
+
+   Run with: dune exec examples/legacy.exe *)
+
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Service = Oasis_core.Service
+module Group = Oasis_core.Group
+module Principal = Oasis_core.Principal
+module Unixfs = Oasis_core.Unixfs
+module Interop = Oasis_core.Interop
+module V = Oasis_rdl.Value
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let registry = Service.create_registry () in
+  let client_host = Net.add_host net "client" in
+  let run dt = Engine.run ~until:(Engine.now engine +. dt) engine in
+
+  let login =
+    Result.get_ok
+      (Service.create net (Net.add_host net "login") registry ~name:"Login"
+         ~rolefile:{|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|} ())
+  in
+  let ph = Principal.Host.create "client" in
+  let dom = Principal.Host.boot_domain ph in
+  let user name =
+    let vci = Principal.Host.new_vci ph dom in
+    ( vci,
+      Service.issue_arbitrary login ~client:vci ~roles:[ "LoggedOn" ]
+        ~args:[ V.Str name; V.Str "client" ] )
+  in
+
+  (* ---------------------------------------------------------------- *)
+  say "--- a Unix filing system, expressed in RDL (§3.3.3) ---";
+  let fs =
+    Result.get_ok
+      (Unixfs.create net (Net.add_host net "fs") registry ~name:"UnixFS"
+         ~tree:
+           [
+             ("/", "root=rwx other=r-x");
+             ("/home", "other=r-x");
+             ("/home/rjh21", "rjh21=rwx %opera=r-x");
+             ("/home/rjh21/thesis.tex", "rjh21=rw- %opera=r--");
+             ("/vault", "root=rwx");
+             ("/vault/secrets", "other=rw-");
+           ])
+  in
+  Group.add (Service.group (Unixfs.service fs) "opera") (V.Str "jmb");
+  say "the adapter generated this rolefile from the tree:";
+  say "%s" (Oasis_rdl.Pretty.to_string (Service.rolefile (Unixfs.service fs)));
+
+  let try_path name path =
+    let vci, cert = user name in
+    Unixfs.request_use fs ~client_host ~client:vci ~login:cert ~path (function
+      | Ok (_, rights) -> say "  %-8s %-28s -> {%s}" name path rights
+      | Error e -> say "  %-8s %-28s -> DENIED (%s)" name path e)
+  in
+  try_path "rjh21" "/home/rjh21/thesis.tex";
+  try_path "jmb" "/home/rjh21/thesis.tex";
+  try_path "eve" "/home/rjh21/thesis.tex";
+  (* The kicker: the file's own ACL says anyone may read/write, but the
+     enclosing /vault denies search permission — exactly Unix semantics,
+     derived through the recursive UseDir rule. *)
+  try_path "eve" "/vault/secrets";
+  run 5.0;
+
+  (* ---------------------------------------------------------------- *)
+  say "\n--- organisational roles bridged into OASIS (§4.12) ---";
+  let org =
+    Result.get_ok
+      (Service.create net (Net.add_host net "org") registry ~name:"Org"
+         ~rolefile:{|
+def OrgRole(r) r: String
+OrgRole(r) <-
+|} ())
+  in
+  let bridge = Interop.Orgroles.create org in
+  (* A native OASIS service keyed off the foreign scheme's roles. *)
+  let budget =
+    Result.get_ok
+      (Service.create net (Net.add_host net "budget") registry ~name:"Budget"
+         ~rolefile:{|
+Approve <- Org.OrgRole("manager")*
+View <- Org.OrgRole(r)
+|} ())
+  in
+  let boss, _ = user "boss" in
+  let boss_role = Result.get_ok (Interop.Orgroles.assert_role bridge ~client:boss ~org_role:"manager") in
+  let approver = ref None in
+  Service.request_entry budget ~client_host ~client:boss ~role:"Approve" ~creds:[ boss_role ]
+    (function Ok c -> approver := Some c | Error e -> say "entry failed: %s" e);
+  run 2.0;
+  (match !approver with
+  | Some c ->
+      say "the manager (a role managed outside OASIS) may Approve budgets";
+      run 2.0;
+      (* HR fires the manager in the foreign system; the bridge retracts,
+         and the starred credential cascades. *)
+      Interop.Orgroles.retract_role bridge ~client:boss ~org_role:"manager";
+      run 3.0;
+      (match Service.validate budget ~client:boss c with
+      | Error _ -> say "the foreign scheme retracted 'manager' -> Approve revoked across services"
+      | Ok () -> say "unexpected: still valid")
+  | None -> ())

@@ -1,0 +1,140 @@
+(* Quickstart: the paper's running example (fig 3.1).
+
+   A Login service names users; a conference service defines Chair and
+   Member roles in RDL.  jmb logs on and becomes Chair; dm is elected a
+   Member by delegation; removing dm from the staff group revokes the
+   membership instantly — the membership rule (u in staff)* at work.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Service = Oasis_core.Service
+module Group = Oasis_core.Group
+module Principal = Oasis_core.Principal
+module V = Oasis_rdl.Value
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  (* A simulated world: an engine, a network, three hosts. *)
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let registry = Service.create_registry () in
+  let login_host = Net.add_host net "login-host" in
+  let conf_host = Net.add_host net "conf-host" in
+  let client_host = Net.add_host net "ely" in
+  let run dt = Engine.run ~until:(Engine.now engine +. dt) engine in
+
+  (* The Login service: LoggedOn(user, host) certificates, issued by the
+     bootstrap mechanism (a password exchange in real life, §3.4.3). *)
+  let login =
+    Result.get_ok
+      (Service.create net login_host registry ~name:"Login"
+         ~rolefile:{|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|} ())
+  in
+
+  (* The conference service — the rolefile of fig 3.1, verbatim (modulo
+     ASCII): Chair for jmb; Members elected by the Chair, staff only, with
+     starred membership rules. *)
+  let conf =
+    Result.get_ok
+      (Service.create net conf_host registry ~name:"Conf"
+         ~rolefile:
+           {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+|}
+         ())
+  in
+  Group.add (Service.group conf "staff") (V.Str "dm");
+  say "rolefile loaded:\n%s" (Oasis_rdl.Pretty.to_string (Service.rolefile conf));
+
+  (* Principals: processes on the client host, each with a VCI (§2.8). *)
+  let host = Principal.Host.create "ely" in
+  let domain = Principal.Host.boot_domain host in
+  let jmb = Principal.Host.new_vci host domain in
+  let dm = Principal.Host.new_vci host domain in
+
+  (* Log both users on. *)
+  let jmb_login =
+    Service.issue_arbitrary login ~client:jmb ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "jmb"; V.Str "ely" ]
+  in
+  let dm_login =
+    Service.issue_arbitrary login ~client:dm ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "dm"; V.Str "ely" ]
+  in
+  say "jmb and dm hold LoggedOn certificates from the Login service";
+
+  (* jmb enters Chair, presenting the Login certificate as a credential
+     from another service (§2.9). *)
+  let chair = ref None in
+  Service.request_entry conf ~client_host ~client:jmb ~role:"Chair" ~creds:[ jmb_login ]
+    (function
+      | Ok c ->
+          chair := Some c;
+          say "jmb entered Chair: %s" (Format.asprintf "%a" Oasis_core.Cert.pp_rmc c)
+      | Error e -> say "chair entry failed: %s" e);
+  run 1.0;
+  let chair = Option.get !chair in
+
+  (* The Chair delegates Member to whoever can prove they are dm (§4.4). *)
+  let dcert = ref None and rcert = ref None in
+  Service.request_delegation conf ~client_host ~delegator:jmb ~using:chair ~role:"Member"
+    ~required:[ ("Login", "LoggedOn", [ V.Str "dm"; V.Str "*" ]) ]
+    (function
+      | Ok (d, r) ->
+          dcert := Some d;
+          rcert := Some r;
+          say "jmb obtained a delegation certificate for Member (and a revocation certificate)"
+      | Error e -> say "delegation failed: %s" e);
+  run 1.0;
+
+  (* dm accepts the election, supplying both the delegation certificate and
+     the required Login credential. *)
+  let member = ref None in
+  Service.request_entry conf ~client_host ~client:dm ~role:"Member" ~creds:[ dm_login ]
+    ~delegation:(Option.get !dcert)
+    (function
+      | Ok c ->
+          member := Some c;
+          say "dm entered Member(dm)"
+      | Error e -> say "member entry failed: %s" e);
+  run 1.0;
+  let member = Option.get !member in
+
+  (* Use the certificate. *)
+  (match Service.validate conf ~client:dm ~need_role:"Member" member with
+  | Ok () -> say "dm's Member certificate validates"
+  | Error f -> say "unexpected: %s" (Format.asprintf "%a" Service.pp_failure f));
+
+  (* Membership rules in action: dm leaves the staff group. *)
+  Group.remove (Service.group conf "staff") (V.Str "dm");
+  (match Service.validate conf ~client:dm member with
+  | Error Service.Revoked -> say "dm removed from staff -> Member certificate revoked instantly"
+  | _ -> say "unexpected: certificate still valid");
+
+  (* Re-hire dm, re-enter, then revoke the delegation explicitly. *)
+  Group.add (Service.group conf "staff") (V.Str "dm");
+  let member2 = ref None in
+  Service.request_entry conf ~client_host ~client:dm ~role:"Member" ~creds:[ dm_login ]
+    ~delegation:(Option.get !dcert)
+    (function Ok c -> member2 := Some c | Error e -> say "re-entry failed: %s" e);
+  run 1.0;
+  Service.request_revocation conf ~client_host (Option.get !rcert) (function
+    | Ok () -> say "jmb used the revocation certificate"
+    | Error e -> say "revocation failed: %s" e);
+  run 1.0;
+  (match Service.validate conf ~client:dm (Option.get !member2) with
+  | Error Service.Revoked -> say "the delegated membership is gone"
+  | _ -> say "unexpected: still valid");
+
+  (* The audit trail (§4.13). *)
+  say "\naudit log at the conference service (newest first):";
+  List.iter
+    (fun e -> say "  [%6.2fs] %s" e.Service.at e.Service.detail)
+    (Service.audit_log conf)

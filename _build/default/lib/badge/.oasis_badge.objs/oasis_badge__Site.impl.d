@@ -1,0 +1,1 @@
+lib/badge/site.ml: Hashtbl Oasis_core Oasis_events Oasis_rdl Oasis_sim Option String

@@ -1,0 +1,1 @@
+lib/badge/site.mli: Oasis_core Oasis_events Oasis_sim

@@ -1,0 +1,1 @@
+lib/badge/workload.ml: Array List Oasis_sim Oasis_util Printf Site String

@@ -1,0 +1,1 @@
+lib/badge/workload.mli: Oasis_sim Site

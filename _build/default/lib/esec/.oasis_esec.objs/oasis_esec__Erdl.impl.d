@@ -1,0 +1,1 @@
+lib/esec/erdl.ml: Array Format List Oasis_events Oasis_rdl Option Printf Result String

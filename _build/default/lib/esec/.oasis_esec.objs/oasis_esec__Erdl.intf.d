@@ -1,0 +1,1 @@
+lib/esec/erdl.mli: Format Oasis_events Oasis_rdl

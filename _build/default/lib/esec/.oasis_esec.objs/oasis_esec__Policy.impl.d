@@ -1,0 +1,1 @@
+lib/esec/policy.ml: Array Erdl Hashtbl List Oasis_core Oasis_events Oasis_sim

@@ -1,0 +1,1 @@
+lib/esec/policy.mli: Erdl Oasis_core Oasis_events Oasis_sim

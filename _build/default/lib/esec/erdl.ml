@@ -1,0 +1,203 @@
+module Ast = Oasis_rdl.Ast
+module Value = Oasis_rdl.Value
+module Event = Oasis_events.Event
+
+type rule = {
+  allow : bool;
+  role : Ast.role_ref option;
+  event : string;
+  pats : Event.pattern list;
+}
+
+(* Rules are line-oriented:
+     ("allow" | "deny") (roleref | "*") ":" Name(pat, ...)
+   Patterns: "*", integer/string literals, or variables (bound by the role's
+   arguments).  The roleref reuses RDL's lexer via a tiny adapter. *)
+
+let parse_pattern_token = function
+  | "*" -> Event.Any
+  | tok -> (
+      match int_of_string_opt tok with
+      | Some n -> Event.Lit (Value.Int n)
+      | None ->
+          if String.length tok >= 2 && tok.[0] = '"' && tok.[String.length tok - 1] = '"' then
+            Event.Lit (Value.Str (String.sub tok 1 (String.length tok - 2)))
+          else Event.Var tok)
+
+let parse_role_text text =
+  (* "Service.Role(args)" or "Role(args)" — parse with the RDL machinery by
+     wrapping it into a synthetic entry statement. *)
+  let src = Printf.sprintf "Synthetic__ <- %s" (String.trim text) in
+  match Oasis_rdl.Parser.parse_result src with
+  | Ok [ Ast.Entry { creds = [ r ]; _ } ] -> Ok r
+  | Ok _ -> Error ("malformed role reference: " ^ text)
+  | Error e -> Error e
+
+let parse_event_text text =
+  let text = String.trim text in
+  match String.index_opt text '(' with
+  | None -> Ok (text, [])
+  | Some lp ->
+      if text.[String.length text - 1] <> ')' then Error ("malformed event template: " ^ text)
+      else
+        let name = String.sub text 0 lp in
+        let inner = String.sub text (lp + 1) (String.length text - lp - 2) in
+        let parts =
+          if String.trim inner = "" then []
+          else List.map String.trim (String.split_on_char ',' inner)
+        in
+        Ok (name, List.map parse_pattern_token parts)
+
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    let allow, rest =
+      if String.length line > 6 && String.sub line 0 6 = "allow " then (true, String.sub line 6 (String.length line - 6))
+      else if String.length line > 5 && String.sub line 0 5 = "deny " then (false, String.sub line 5 (String.length line - 5))
+      else (true, "")
+    in
+    if rest = "" then Error ("expected 'allow' or 'deny': " ^ line)
+    else
+      match String.index_opt rest ':' with
+      | None -> Error ("missing ':' in rule: " ^ line)
+      | Some colon -> (
+          let role_text = String.trim (String.sub rest 0 colon) in
+          let event_text = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+          let role =
+            if role_text = "*" then Ok None
+            else Result.map Option.some (parse_role_text role_text)
+          in
+          match role with
+          | Error e -> Error e
+          | Ok role -> (
+              match parse_event_text event_text with
+              | Error e -> Error e
+              | Ok (event, pats) -> Ok (Some { allow; role; event; pats })))
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match parse_line line with
+        | Ok None -> go acc rest
+        | Ok (Some r) -> go (r :: acc) rest
+        | Error e -> Error e)
+  in
+  go [] lines
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%s %s : %s(%s)"
+    (if r.allow then "allow" else "deny")
+    (match r.role with
+    | None -> "*"
+    | Some rr -> Format.asprintf "%a" Oasis_rdl.Pretty.pp_role_ref rr)
+    r.event
+    (String.concat ", "
+       (List.map
+          (function
+            | Event.Any -> "*"
+            | Event.Var v -> v
+            | Event.Lit l -> Value.to_string l)
+          r.pats))
+
+type visibility = {
+  vis_allowed : Event.template list;
+  vis_denied : Event.template list;
+}
+
+(* Match a rule's role reference against one credential; on success return
+   the variable bindings from the credential's arguments. *)
+let role_matches (rr : Ast.role_ref) (service, roles, args) =
+  let service_ok =
+    match rr.Ast.sref.Ast.service with
+    | None -> true (* unqualified: match a role from any validated credential *)
+    | Some s -> String.equal s service
+  in
+  if (not service_ok) || not (List.mem rr.Ast.role roles) then None
+  else if rr.Ast.ref_args = [] then Some []
+  else if List.length rr.Ast.ref_args <> List.length args then None
+  else
+    let rec go env = function
+      | [] -> Some env
+      | (Ast.Alit v, actual) :: rest -> if Value.equal v actual then go env rest else None
+      | (Ast.Avar x, actual) :: rest -> (
+          match List.assoc_opt x env with
+          | Some bound -> if Value.equal bound actual then go env rest else None
+          | None -> go ((x, actual) :: env) rest)
+    in
+    go [] (List.combine rr.Ast.ref_args args)
+
+let ground_template rule env =
+  let pats =
+    List.map
+      (function
+        | Event.Var x as p -> (
+            match List.assoc_opt x env with Some v -> Event.Lit v | None -> p)
+        | p -> p)
+      rule.pats
+  in
+  (* Any variable still free after binding acts as a wildcard. *)
+  let pats = List.map (function Event.Var _ -> Event.Any | p -> p) pats in
+  Event.template rule.event pats
+
+let instantiate rules ~creds =
+  let allowed = ref [] and denied = ref [] in
+  List.iter
+    (fun rule ->
+      let envs =
+        match rule.role with
+        | None -> [ [] ]
+        | Some rr -> List.filter_map (role_matches rr) creds
+      in
+      List.iter
+        (fun env ->
+          let tpl = ground_template rule env in
+          if rule.allow then allowed := tpl :: !allowed else denied := tpl :: !denied)
+        envs)
+    rules;
+  { vis_allowed = List.rev !allowed; vis_denied = List.rev !denied }
+
+let intersect_pattern a b =
+  match (a, b) with
+  | Event.Any, p | p, Event.Any -> Some p
+  | Event.Lit x, Event.Lit y -> if Value.equal x y then Some a else None
+  | Event.Var _, p | p, Event.Var _ -> Some p
+
+let intersect a b =
+  if a.Event.tname <> "*" && b.Event.tname <> "*" && not (String.equal a.Event.tname b.Event.tname)
+  then None
+  else if
+    Array.length a.Event.pats <> Array.length b.Event.pats
+    && Array.length a.Event.pats <> 0 && Array.length b.Event.pats <> 0
+  then None
+  else
+    let name = if String.equal a.Event.tname "*" then b.Event.tname else a.Event.tname in
+    let base, other =
+      if Array.length a.Event.pats >= Array.length b.Event.pats then (a.Event.pats, b.Event.pats)
+      else (b.Event.pats, a.Event.pats)
+    in
+    let merged =
+      Array.mapi
+        (fun i p -> if i < Array.length other then intersect_pattern p other.(i) else Some p)
+        base
+    in
+    if Array.exists Option.is_none merged then None
+    else
+      Some
+        {
+          Event.tname = name;
+          tsource = (match a.Event.tsource with Some s -> Some s | None -> b.Event.tsource);
+          pats = Array.map Option.get merged;
+        }
+
+(* Would a denied template cover every event the narrowed template can
+   deliver?  Conservative: reject when they merely overlap. *)
+let overlaps a b = intersect a b <> None
+
+let filter vis requested =
+  let candidates = List.filter_map (fun allowed -> intersect requested allowed) vis.vis_allowed in
+  List.find_opt
+    (fun narrowed -> not (List.exists (fun d -> overlaps narrowed d) vis.vis_denied))
+    candidates

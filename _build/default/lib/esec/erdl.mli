@@ -1,0 +1,65 @@
+(** ERDL: RDL extended with event-visibility statements (ch. 7).
+
+    Event services do not fit the request/response model: the security
+    question is {e which event instances a client may be notified of}
+    (§7.2).  An ERDL policy is a list of visibility rules:
+
+    {v
+    allow Login.LoggedOn(u, h) : Sighted(u)
+    allow Namer.OwnsBadge(u, b) : Seen(b, ANY)
+    deny  ANY : Seen(ANY, "directors-office")
+    v}
+
+    (ANY is written as a star in the concrete syntax; spelled out here only
+    because of OCaml comment lexing.)
+
+    A rule grants (or denies) visibility of events matching the template on
+    the right to clients holding the role on the left; variables bound by
+    the role's arguments flow into the template (the correlation that makes
+    "you may watch {e your own} badge" expressible).  [*] on the left of a
+    [deny] matches any client.
+
+    Preprocessing (fig 7.1) happens in stages: (1) parse; (2) resolve each
+    rule's role against the local service or a named peer; (3) at session
+    admission, instantiate the rules against the client's validated
+    credentials, yielding a set of ground {e allowed} templates; (4) at
+    registration, intersect the requested template with the allowed set —
+    the registration is narrowed or rejected, so unseeable instances are
+    never even monitored (§7.4). *)
+
+type rule = {
+  allow : bool;
+  role : Oasis_rdl.Ast.role_ref option;  (** [None] = any client ([*]) *)
+  event : string;  (** event name; ["*"] for any *)
+  pats : Oasis_events.Event.pattern list;
+}
+
+val parse : string -> (rule list, string) result
+val pp_rule : Format.formatter -> rule -> unit
+
+(** Stage 3: a client's visibility, computed from validated credentials. *)
+type visibility = {
+  vis_allowed : Oasis_events.Event.template list;  (** ground allow templates *)
+  vis_denied : Oasis_events.Event.template list;
+}
+
+val instantiate :
+  rule list ->
+  creds:(string * string list * Oasis_rdl.Value.t list) list ->
+  visibility
+(** [creds] are validated credentials as [(service, roles, args)].  A rule
+    matches a credential when its role reference names one of the
+    credential's roles (and service) and its literal arguments agree; the
+    credential's arguments bind the rule's variables. *)
+
+val intersect :
+  Oasis_events.Event.template ->
+  Oasis_events.Event.template ->
+  Oasis_events.Event.template option
+(** Most-specific combination of two templates; [None] if incompatible. *)
+
+val filter :
+  visibility -> Oasis_events.Event.template -> Oasis_events.Event.template option
+(** Stage 4: narrow a requested template to what the client may see.
+    Returns the first non-empty intersection with an allowed template that
+    is not contradicted by a deny rule; [None] rejects the registration. *)

@@ -1,0 +1,1 @@
+lib/events/aggregate.ml: Bead Buffer Composite Event Hashtbl List Oasis_rdl Oasis_util Option Printf String

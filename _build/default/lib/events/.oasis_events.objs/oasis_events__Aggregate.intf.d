@@ -1,0 +1,1 @@
+lib/events/aggregate.mli: Bead Composite Event Oasis_rdl

@@ -1,0 +1,1 @@
+lib/events/bead.ml: Composite Event List

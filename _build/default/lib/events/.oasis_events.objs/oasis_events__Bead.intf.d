@@ -1,0 +1,1 @@
+lib/events/bead.mli: Composite Event

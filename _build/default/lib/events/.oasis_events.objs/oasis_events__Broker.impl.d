@@ -1,0 +1,1 @@
+lib/events/broker.ml: Event Hashtbl Int List Oasis_sim Option Queue

@@ -1,0 +1,1 @@
+lib/events/broker.mli: Event Oasis_sim

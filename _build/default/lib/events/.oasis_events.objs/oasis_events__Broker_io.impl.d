@@ -1,0 +1,1 @@
+lib/events/broker_io.ml: Bead Broker Event List Oasis_sim String

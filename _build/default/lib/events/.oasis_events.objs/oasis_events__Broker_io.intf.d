@@ -1,0 +1,1 @@
+lib/events/broker_io.mli: Bead Broker Oasis_sim

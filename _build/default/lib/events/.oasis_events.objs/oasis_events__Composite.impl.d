@@ -1,0 +1,1 @@
+lib/events/composite.ml: Event Format Fun List Oasis_rdl Option Printf String

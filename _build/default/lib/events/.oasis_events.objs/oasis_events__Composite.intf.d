@@ -1,0 +1,1 @@
+lib/events/composite.mli: Event Format Oasis_rdl

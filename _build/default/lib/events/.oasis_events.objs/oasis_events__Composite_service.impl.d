@@ -1,0 +1,1 @@
+lib/events/composite_service.ml: Array Bead Broker Broker_io Composite Event Hashtbl List Oasis_rdl Oasis_sim String

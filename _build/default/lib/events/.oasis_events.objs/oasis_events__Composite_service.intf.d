@@ -1,0 +1,1 @@
+lib/events/composite_service.mli: Broker Composite Event Oasis_sim

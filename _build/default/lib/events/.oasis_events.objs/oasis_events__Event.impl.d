@@ -1,0 +1,1 @@
+lib/events/event.ml: Array Buffer Format List Oasis_rdl Printf String

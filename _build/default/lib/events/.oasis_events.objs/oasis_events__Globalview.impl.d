@@ -1,0 +1,1 @@
+lib/events/globalview.ml: Bead Event Oasis_util

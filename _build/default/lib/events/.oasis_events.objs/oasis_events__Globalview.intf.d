@@ -1,0 +1,1 @@
+lib/events/globalview.mli: Bead

@@ -1,0 +1,1 @@
+lib/events/idl.ml: Array Event Format List Oasis_rdl Printf String

@@ -1,0 +1,1 @@
+lib/events/idl.mli: Event Format Oasis_rdl

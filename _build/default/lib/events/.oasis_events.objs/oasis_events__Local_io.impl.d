@@ -1,0 +1,1 @@
+lib/events/local_io.ml: Bead Event Hashtbl List Oasis_util

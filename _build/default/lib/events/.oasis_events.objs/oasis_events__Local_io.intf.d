@@ -1,0 +1,1 @@
+lib/events/local_io.mli: Bead Event

@@ -1,0 +1,87 @@
+(** Aggregation functions over streams of composite event occurrences
+    (§6.9–6.11).
+
+    A stream's occurrences are held in a {e two-section priority queue}
+    (fig 6.6), ordered by occurrence time.  The {e fixed} section is the
+    prefix the system guarantees no further insertion into — it grows as
+    event-horizon knowledge arrives (heartbeats, §6.8.2).  An aggregation
+    function can act when an occurrence arrives ([event:]), when occurrences
+    become fixed ([fixed:], in occurrence-time order) and when the stream
+    ends ([end:]).
+
+    Two APIs are provided: a closure-based one ({!aggregate}) and the
+    paper's toy C-like language (§6.10, {!parse_program} / {!run_program}).
+
+    Program syntax (line-oriented sections):
+    {v
+    int t = 0;
+    expr:  Deposit(acct, x) - Close(acct)
+    until: Close(acct)
+    event: t = t + new.x
+    fixed:
+    end:   signal Total(t)
+    v}
+
+    Declarations precede the first section.  [expr:] is a composite event
+    expression ({!Composite.parse}); the optional [until:] expression's
+    first occurrence terminates the stream.  Statements: assignment,
+    [if (e) s else s], [signal Name(e, ...)], [stop], [{ ... }] blocks,
+    separated by [;].  Expressions: integer arithmetic ([+ - * /]),
+    comparisons, [&&]/[||]/[!], locals, [new.x] (parameter binding [x] of
+    the current occurrence) and [new.time] (occurrence time in integer
+    milliseconds). *)
+
+type value = Oasis_rdl.Value.t
+
+type handlers = {
+  on_event : Bead.occurrence -> unit;
+  on_fixed : Bead.occurrence -> unit;
+  on_end : unit -> unit;
+}
+
+type t
+
+val aggregate :
+  Bead.io -> ?env:Event.env -> ?until:Composite.t -> Composite.t -> handlers -> t
+(** Run the composite expression, feeding its occurrences through a
+    two-section queue into the handlers.  [on_fixed] is called in occurrence
+    time order, only for occurrences the horizon has passed. *)
+
+val stop : t -> unit
+(** Terminate the stream (fires [on_end] exactly once). *)
+
+val queue_length : t -> int
+(** Occurrences received but not yet fixed (variable section size). *)
+
+(** {1 The aggregation language} *)
+
+type program
+
+exception Program_error of string
+
+val parse_program : string -> program
+
+val run_program :
+  Bead.io ->
+  ?env:Event.env ->
+  program ->
+  on_signal:(string -> value list -> unit) ->
+  t
+(** Execute a parsed program; [signal] statements call [on_signal]. *)
+
+(** {1 Library aggregations (§6.11)} *)
+
+val count_program : expr:string -> until:string -> signal:string -> program
+(** Counts occurrences of [expr] until [until]; signals [signal(n)]. *)
+
+val maximum_program : expr:string -> param:string -> until:string -> signal:string -> program
+(** Tracks the maximum of integer parameter [param]. *)
+
+val first_program : expr:string -> signal:string -> program
+(** Signals on the chronologically first occurrence only — needs the fixed
+    section, not just arrival order (§6.9.1, §6.11.3). *)
+
+val once_program : expr:string -> signal:string -> program
+(** Signals at most once, on arrival order (§6.11.3's Once): cheaper than
+    FIRST because it does not wait for the fixed section, at the price of
+    possibly reporting a chronologically later occurrence. *)

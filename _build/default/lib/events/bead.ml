@@ -1,0 +1,171 @@
+type occurrence = { at : float; env : Event.env }
+
+type io = {
+  subscribe : Event.template -> since:float -> (Event.t -> unit) -> unit -> unit;
+  io_horizon : Event.template list -> float;
+  on_horizon : (unit -> unit) -> unit -> unit;
+  io_now : unit -> float;
+  io_after : float -> (unit -> unit) -> unit;
+  clock_uncertainty : float;
+}
+
+type detector = {
+  d_io : io;
+  mutable d_beads : int;
+  mutable d_kill : unit -> unit;
+  mutable d_stopped : bool;
+}
+
+(* Each node's [go] returns its kill function.  Killing is idempotent and
+   recursive: a parent's kill destroys every child bead it spawned. *)
+let rec go d comp s env emit =
+  match comp with
+  | Composite.Null ->
+      emit { at = s; env };
+      fun () -> ()
+  | Composite.Base (tpl, side) ->
+      let tpl = Event.instantiate env tpl in
+      d.d_beads <- d.d_beads + 1;
+      let dead = ref false in
+      let unsub = ref (fun () -> ()) in
+      let kill () =
+        if not !dead then begin
+          dead := true;
+          d.d_beads <- d.d_beads - 1;
+          !unsub ()
+        end
+      in
+      let u =
+        d.d_io.subscribe tpl ~since:s (fun e ->
+            if (not !dead) && e.Event.stamp > s then
+              match Event.matches ~env tpl e with
+              | None -> ()
+              | Some env' -> (
+                  match Composite.eval_side ~now:(d.d_io.io_now ()) env' side with
+                  | None -> ()
+                  | Some env'' ->
+                      (* A base event yields only its first match (§6.5). *)
+                      kill ();
+                      emit { at = e.Event.stamp; env = env'' }))
+      in
+      unsub := u;
+      if !dead then u ();
+      kill
+  | Composite.Seq (a, b) ->
+      let children = ref [] in
+      let ka =
+        go d a s env (fun o ->
+            let kb = go d b o.at o.env emit in
+            children := kb :: !children)
+      in
+      fun () ->
+        ka ();
+        List.iter (fun k -> k ()) !children;
+        children := []
+  | Composite.Or (a, b) ->
+      let ka = go d a s env emit in
+      let kb = go d b s env emit in
+      fun () ->
+        ka ();
+        kb ()
+  | Composite.Whenever inner ->
+      let children = ref [] in
+      let dead = ref false in
+      let rec spawn s =
+        if not !dead then
+          let k =
+            go d inner s env (fun o ->
+                emit o;
+                (* Least-solution guard: no progress, no respawn ($null). *)
+                if o.at > s then spawn o.at)
+          in
+          children := k :: !children
+      in
+      spawn s;
+      fun () ->
+        dead := true;
+        List.iter (fun k -> k ()) !children;
+        children := []
+  | Composite.Without (a, b, params) -> go_without d a b params s env emit
+
+and go_without d a b params s env emit =
+  let io = d.d_io in
+  let b_templates = Composite.base_templates b in
+  (* §6.8.4: trade a timestamp margin for ordering confidence. *)
+  let margin =
+    match params.Composite.probability with
+    | None -> 0.0
+    | Some p -> io.clock_uncertainty *. ((2.0 *. max 0.5 (min 1.0 p)) -. 1.0)
+  in
+  let blockers = ref [] in
+  (* Candidates: occurrences of [a] awaiting certainty that no [b] precedes
+     them (event-horizon wait, §6.8.2, or the Delay override, §6.8.3). *)
+  let candidates : (occurrence * bool ref) list ref = ref [] in
+  let dead = ref false in
+  let blocked at = List.exists (fun tb -> tb <= at +. margin) !blockers in
+  let settle (o, decided) ~assume_absent =
+    if not !decided then
+      if blocked o.at then begin
+        decided := true;
+        d.d_beads <- d.d_beads - 1
+      end
+      else if assume_absent || io.io_horizon b_templates >= o.at +. margin then begin
+        decided := true;
+        d.d_beads <- d.d_beads - 1;
+        emit o
+      end
+  in
+  let sweep ~assume_absent =
+    List.iter (fun c -> settle c ~assume_absent) !candidates;
+    candidates := List.filter (fun (_, decided) -> not !decided) !candidates
+  in
+  let unsub_horizon = io.on_horizon (fun () -> if not !dead then sweep ~assume_absent:false) in
+  let kb =
+    go d b s env (fun ob ->
+        if not !dead then begin
+          blockers := ob.at :: !blockers;
+          sweep ~assume_absent:false
+        end)
+  in
+  let ka =
+    go d a s env (fun o ->
+        if not !dead then begin
+          let cell = (o, ref false) in
+          d.d_beads <- d.d_beads + 1;
+          candidates := cell :: !candidates;
+          settle cell ~assume_absent:false;
+          if not !(snd cell) then begin
+            candidates := List.filter (fun (_, decided) -> not !decided) !candidates;
+            match params.Composite.delay with
+            | Some delay ->
+                io.io_after delay (fun () -> if not !dead then settle cell ~assume_absent:true)
+            | None -> ()
+          end
+          else candidates := List.filter (fun (_, decided) -> not !decided) !candidates
+        end)
+  in
+  fun () ->
+    if not !dead then begin
+      dead := true;
+      List.iter (fun (_, decided) -> if not !decided then d.d_beads <- d.d_beads - 1) !candidates;
+      candidates := [];
+      unsub_horizon ();
+      ka ();
+      kb ()
+    end
+
+let detect io ?(env = []) ?start comp ~on_occur =
+  let d = { d_io = io; d_beads = 0; d_kill = (fun () -> ()); d_stopped = false } in
+  (* Default start sits just before "now" so an event stamped at this exact
+     instant is still caught (base matching is strict-after, §6.5). *)
+  let s = match start with Some s -> s | None -> io.io_now () -. 1e-9 in
+  d.d_kill <- go d comp s env on_occur;
+  d
+
+let stop d =
+  if not d.d_stopped then begin
+    d.d_stopped <- true;
+    d.d_kill ()
+  end
+
+let live_beads d = d.d_beads

@@ -1,0 +1,53 @@
+(** Push-down bead machine for composite event detection (§6.7).
+
+    An evaluation is a set of {e beads}, each carrying an environment of
+    variable bindings.  Beads split at [|] and [-] states, spawn at [$]
+    states, and advance when base events matching their (instantiated)
+    templates arrive.  Sub-expressions evaluate {e independently}: a delayed
+    event source stalls only the beads that genuinely depend on it (§6.4.1,
+    fig 6.4) — the property measured by experiment E5.
+
+    The machine is transport-agnostic: it talks to event sources through an
+    {!io} record.  {!Broker_io.make} builds one from broker sessions;
+    {!Local_io.make} builds a zero-latency in-process source for unit tests
+    and benchmarks. *)
+
+type occurrence = { at : float; env : Event.env }
+
+type io = {
+  subscribe : Event.template -> since:float -> (Event.t -> unit) -> unit -> unit;
+      (** Register interest from a (stamp) time; returns the deregister
+          function.  Implementations must replay retained events with
+          [stamp >= since] (retrospective registration, §6.8.1). *)
+  io_horizon : Event.template list -> float;
+      (** Current event-horizon covering all sources that could produce an
+          event matching one of the templates (§6.8.2). *)
+  on_horizon : (unit -> unit) -> unit -> unit;
+      (** Subscribe to horizon advances (any relevant source); returns the
+          unsubscribe function. *)
+  io_now : unit -> float;  (** local clock *)
+  io_after : float -> (unit -> unit) -> unit;  (** local timer *)
+  clock_uncertainty : float;
+      (** Bound on inter-host clock error, used by the [Probability]
+          parameter (§6.8.4). *)
+}
+
+type detector
+
+val detect :
+  io ->
+  ?env:Event.env ->
+  ?start:float ->
+  Composite.t ->
+  on_occur:(occurrence -> unit) ->
+  detector
+(** Start an evaluation of the expression with the given initial environment
+    and logical start time (default: the io clock's now).  [on_occur] fires
+    for every occurrence, possibly many times (§6.5). *)
+
+val stop : detector -> unit
+(** Kill every live bead and deregister every subscription. *)
+
+val live_beads : detector -> int
+(** Number of live beads (subscriptions waiting or candidates held);
+    exposed for tests of bead lifecycle management. *)

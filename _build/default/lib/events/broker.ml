@@ -1,0 +1,421 @@
+module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
+module Clock = Oasis_sim.Clock
+
+type delivery = { d_seq : int; d_items : (int * Event.t) list; d_horizon : float }
+
+type session = {
+  s_net : Net.t;
+  s_host : Net.host;
+  s_server : server;
+  mutable s_id : int;
+  mutable s_callbacks : (int * (Event.t -> unit)) list;
+  mutable s_horizon : float;
+  mutable s_last_seq : int;  (* last in-order delivery seq processed *)
+  s_pending : (int, delivery) Hashtbl.t;  (* held out-of-order deliveries *)
+  mutable s_stale : bool;
+  mutable s_last_rx : float;  (* true time of last traffic; local measure *)
+  mutable s_hb_seen : int;
+  (* Horizon advances stashed while deliveries are known to be missing: the
+     pair is (best horizon seen, delivery seq it is contingent on).  Without
+     this, a heartbeat racing a resent event could release a [without]
+     candidate that a late blocker should kill. *)
+  mutable s_stash_horizon : float;
+  mutable s_stash_upto : int;
+  mutable s_on_horizon : (float -> unit) list;
+  mutable s_on_stale : (bool -> unit) list;
+  mutable s_closed : bool;
+  mutable s_next_reg : int;
+}
+
+and sess_srv = {
+  ss_id : int;
+  ss_client : session;
+  ss_host : Net.host;
+  mutable ss_regs : (int * Event.template) list;
+  mutable ss_seq : int;  (* next delivery stream seq *)
+  ss_buffer : (int, delivery) Hashtbl.t;  (* unacked deliveries *)
+  mutable ss_acked : int;
+  mutable ss_missed_acks : int;
+  mutable ss_live : bool;
+}
+
+and server = {
+  b_net : Net.t;
+  b_host : Net.host;
+  b_name : string;
+  b_heartbeat : float;
+  b_ack_every : int;
+  b_retention : float;
+  b_horizon_lag : float;
+  mutable b_seq : int;
+  mutable b_last_stamp : float;
+  mutable b_sessions : sess_srv list;
+  b_retained : (float * Event.t) Queue.t;  (* (true_time_added, event) *)
+  mutable b_admission : credentials:string list -> bool;
+  mutable b_reg_filter : credentials:string list -> Event.template -> Event.template option;
+  mutable b_next_session : int;
+  b_creds : (int, string list) Hashtbl.t;  (* session id -> credentials *)
+}
+
+type registration = {
+  r_session : session;
+  r_id : int;
+  mutable r_active : bool;
+}
+
+let server_name srv = srv.b_name
+let server_host srv = srv.b_host
+let sessions srv = List.length srv.b_sessions
+let session_server s = s.s_server
+
+let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(retention = 10.0)
+    ?(horizon_lag = 0.0) () =
+  let srv =
+    {
+      b_net = net;
+      b_host = host;
+      b_name = name;
+      b_heartbeat = heartbeat;
+      b_ack_every = ack_every;
+      b_retention = retention;
+      b_horizon_lag = horizon_lag;
+      b_seq = 0;
+      b_last_stamp = neg_infinity;
+      b_sessions = [];
+      b_retained = Queue.create ();
+      b_admission = (fun ~credentials:_ -> true);
+      b_reg_filter = (fun ~credentials:_ tpl -> Some tpl);
+      b_next_session = 0;
+      b_creds = Hashtbl.create 8;
+    }
+  in
+  (* Heartbeats to every live session. *)
+  let engine = Net.engine net in
+  ignore
+    (Engine.every engine ~period:heartbeat (fun () ->
+         let horizon = Clock.read (Net.host_clock host) -. srv.b_horizon_lag in
+         List.iter
+           (fun ss ->
+             if ss.ss_live then begin
+               (* A server drops a client that has not acknowledged for a
+                  long period (§4.10: "can assume that it is no longer
+                  running"). *)
+               ss.ss_missed_acks <- ss.ss_missed_acks + 1;
+               if ss.ss_missed_acks > 8 * srv.b_ack_every then begin
+                 ss.ss_live <- false;
+                 srv.b_sessions <- List.filter (fun s -> s != ss) srv.b_sessions
+               end
+               else
+                 let client = ss.ss_client in
+                 let upto = ss.ss_seq - 1 in
+                 Net.send net ~category:"evt.heartbeat" ~size:24 ~src:host ~dst:ss.ss_host
+                   (fun () -> client_heartbeat client horizon upto)
+             end)
+           srv.b_sessions));
+  srv
+
+and client_heartbeat s horizon upto =
+  if not s.s_closed then begin
+    rx s;
+    s.s_hb_seen <- s.s_hb_seen + 1;
+    if s.s_last_seq >= upto then advance_horizon s horizon
+    else begin
+      (* Deliveries outstanding: the horizon is only safe once they land. *)
+      if horizon > s.s_stash_horizon then begin
+        s.s_stash_horizon <- horizon;
+        s.s_stash_upto <- max s.s_stash_upto upto
+      end;
+      let srv = s.s_server in
+      let from = s.s_last_seq + 1 in
+      Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
+          server_nack srv s.s_id from)
+    end;
+    if s.s_hb_seen mod s.s_server.b_ack_every = 0 then
+      let last = s.s_last_seq in
+      let srv = s.s_server in
+      Net.send s.s_net ~category:"evt.ack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
+          server_ack srv s.s_id last)
+  end
+
+and rx s =
+  s.s_last_rx <- Engine.now (Net.engine s.s_net);
+  if s.s_stale then begin
+    s.s_stale <- false;
+    List.iter (fun f -> f false) s.s_on_stale;
+    (* Resynchronise: ask the server to resend anything we missed. *)
+    let srv = s.s_server in
+    let from = s.s_last_seq + 1 in
+    Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
+        server_nack srv s.s_id from)
+  end
+
+and advance_horizon s h =
+  if h > s.s_horizon then begin
+    s.s_horizon <- h;
+    List.iter (fun f -> f h) s.s_on_horizon
+  end
+
+and server_ack srv sid last =
+  match List.find_opt (fun ss -> ss.ss_id = sid) srv.b_sessions with
+  | None -> ()
+  | Some ss ->
+      ss.ss_missed_acks <- 0;
+      if last > ss.ss_acked then begin
+        for seq = ss.ss_acked + 1 to last do
+          Hashtbl.remove ss.ss_buffer seq
+        done;
+        ss.ss_acked <- last
+      end
+
+and server_nack srv sid from =
+  match List.find_opt (fun ss -> ss.ss_id = sid) srv.b_sessions with
+  | None -> ()
+  | Some ss ->
+      let seqs = Hashtbl.fold (fun k _ acc -> if k >= from then k :: acc else acc) ss.ss_buffer [] in
+      List.iter
+        (fun seq ->
+          let d = Hashtbl.find ss.ss_buffer seq in
+          let client = ss.ss_client in
+          Net.send srv.b_net ~category:"evt.resend" ~size:(64 * List.length d.d_items)
+            ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client d))
+        (List.sort Int.compare seqs)
+
+and client_deliver s d =
+  if not s.s_closed then begin
+    rx s;
+    if d.d_seq <= s.s_last_seq then () (* duplicate *)
+    else if d.d_seq = s.s_last_seq + 1 then begin
+      process_delivery s d;
+      let last_horizon = ref d.d_horizon in
+      (* Drain any held out-of-order deliveries that are now in order. *)
+      let rec drain () =
+        match Hashtbl.find_opt s.s_pending (s.s_last_seq + 1) with
+        | Some next ->
+            Hashtbl.remove s.s_pending next.d_seq;
+            process_delivery s next;
+            last_horizon := next.d_horizon;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      (* An in-order horizon is safe: everything the server sent before it
+         has been processed.  Release any stashed heartbeat horizon that was
+         waiting on these deliveries. *)
+      advance_horizon s !last_horizon;
+      if s.s_last_seq >= s.s_stash_upto then advance_horizon s s.s_stash_horizon
+    end
+    else begin
+      (* Out of order: hold, stash the horizon contingent on the gap, nack. *)
+      Hashtbl.replace s.s_pending d.d_seq d;
+      if d.d_horizon > s.s_stash_horizon then begin
+        s.s_stash_horizon <- d.d_horizon;
+        s.s_stash_upto <- max s.s_stash_upto d.d_seq
+      end;
+      let srv = s.s_server in
+      let from = s.s_last_seq + 1 in
+      Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
+          server_nack srv s.s_id from)
+    end
+  end
+
+and process_delivery s d =
+  s.s_last_seq <- d.d_seq;
+  List.iter
+    (fun (reg_id, event) ->
+      match List.assoc_opt reg_id s.s_callbacks with
+      | Some cb -> cb event
+      | None -> () (* deregistered while in flight *))
+    d.d_items
+
+let set_admission srv f = srv.b_admission <- f
+let set_registration_filter srv f = srv.b_reg_filter <- f
+
+let server_horizon srv =
+  Clock.read (Net.host_clock srv.b_host) -. srv.b_horizon_lag
+
+let purge_retained srv =
+  let now = Engine.now (Net.engine srv.b_net) in
+  let rec go () =
+    match Queue.peek_opt srv.b_retained with
+    | Some (t, _) when now -. t > srv.b_retention ->
+        ignore (Queue.pop srv.b_retained);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let push_delivery srv ss items =
+  let d = { d_seq = ss.ss_seq; d_items = items; d_horizon = server_horizon srv } in
+  ss.ss_seq <- ss.ss_seq + 1;
+  Hashtbl.replace ss.ss_buffer d.d_seq d;
+  let client = ss.ss_client in
+  Net.send srv.b_net ~category:"evt.deliver" ~size:(48 + (64 * List.length items))
+    ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client d)
+
+let signal srv ?stamp name params =
+  let stamp =
+    match stamp with
+    | Some s -> s
+    | None ->
+        (* Monotone stamps keep the advertised horizon honest. *)
+        let c = Clock.read (Net.host_clock srv.b_host) in
+        max c (srv.b_last_stamp +. 1e-9)
+  in
+  srv.b_last_stamp <- max srv.b_last_stamp stamp;
+  let event = Event.make ~name ~source:srv.b_name ~stamp ~seq:srv.b_seq params in
+  srv.b_seq <- srv.b_seq + 1;
+  purge_retained srv;
+  Queue.push (Engine.now (Net.engine srv.b_net), event) srv.b_retained;
+  List.iter
+    (fun ss ->
+      if ss.ss_live then
+        let items =
+          List.filter_map
+            (fun (reg_id, tpl) ->
+              match Event.matches tpl event with
+              | Some _ -> Some (reg_id, event)
+              | None -> None)
+            ss.ss_regs
+        in
+        if items <> [] then push_delivery srv ss items)
+    srv.b_sessions;
+  event
+
+(* --- client operations --- *)
+
+let connect net host srv ?(credentials = []) ~on_result () =
+  let session =
+    {
+      s_net = net;
+      s_host = host;
+      s_server = srv;
+      s_id = -1;
+      s_callbacks = [];
+      s_horizon = neg_infinity;
+      s_last_seq = -1;
+      s_pending = Hashtbl.create 4;
+      s_stale = false;
+      s_last_rx = Engine.now (Net.engine net);
+      s_hb_seen = 0;
+      s_stash_horizon = neg_infinity;
+      s_stash_upto = -1;
+      s_on_horizon = [];
+      s_on_stale = [];
+      s_closed = false;
+      s_next_reg = 0;
+    }
+  in
+  Net.rpc net ~category:"evt.connect" ~size:(64 + (16 * List.length credentials)) ~src:host
+    ~dst:srv.b_host
+    (fun () ->
+      if not (srv.b_admission ~credentials) then Error "admission denied"
+      else begin
+        let id = srv.b_next_session in
+        srv.b_next_session <- id + 1;
+        Hashtbl.replace srv.b_creds id credentials;
+        let ss =
+          {
+            ss_id = id;
+            ss_client = session;
+            ss_host = host;
+            ss_regs = [];
+            ss_seq = 0;
+            ss_buffer = Hashtbl.create 16;
+            ss_acked = -1;
+            ss_missed_acks = 0;
+            ss_live = true;
+          }
+        in
+        srv.b_sessions <- ss :: srv.b_sessions;
+        Ok id
+      end)
+    (fun result ->
+      match result with
+      | Error e -> on_result (Error e)
+      | Ok id ->
+          session.s_id <- id;
+          (* Staleness detector: a local timer, needing no server traffic. *)
+          let engine = Net.engine net in
+          ignore
+            (Engine.every engine ~period:(srv.b_heartbeat /. 2.0) (fun () ->
+                 if (not session.s_closed) && not session.s_stale then
+                   if Engine.now engine -. session.s_last_rx > 1.5 *. srv.b_heartbeat then begin
+                     session.s_stale <- true;
+                     List.iter (fun f -> f true) session.s_on_stale
+                   end));
+          on_result (Ok session))
+
+let find_sess srv sid = List.find_opt (fun ss -> ss.ss_id = sid) srv.b_sessions
+
+let register session ?since tpl callback =
+  let reg_id = session.s_next_reg in
+  session.s_next_reg <- reg_id + 1;
+  session.s_callbacks <- (reg_id, callback) :: session.s_callbacks;
+  let srv = session.s_server in
+  let sid = session.s_id in
+  Net.send session.s_net ~category:"evt.register" ~size:96 ~src:session.s_host ~dst:srv.b_host
+    (fun () ->
+      match find_sess srv sid with
+      | None -> ()
+      | Some ss -> (
+          let credentials = Option.value ~default:[] (Hashtbl.find_opt srv.b_creds sid) in
+          match srv.b_reg_filter ~credentials tpl with
+          | None -> () (* policy rejected: the client simply never hears events *)
+          | Some tpl ->
+              ss.ss_regs <- (reg_id, tpl) :: ss.ss_regs;
+              (* Retrospective registration: replay retained matching events
+                 from [since] in stamp order (§6.8.1). *)
+              (match since with
+              | None -> ()
+              | Some since ->
+                  purge_retained srv;
+                  let replay =
+                    Queue.fold
+                      (fun acc (_, e) ->
+                        if e.Event.stamp >= since && Event.matches tpl e <> None then e :: acc
+                        else acc)
+                      [] srv.b_retained
+                    |> List.rev
+                  in
+                  if replay <> [] then
+                    push_delivery srv ss (List.map (fun e -> (reg_id, e)) replay))));
+  { r_session = session; r_id = reg_id; r_active = true }
+
+let deregister reg =
+  if reg.r_active then begin
+    reg.r_active <- false;
+    let session = reg.r_session in
+    session.s_callbacks <- List.remove_assoc reg.r_id session.s_callbacks;
+    let srv = session.s_server in
+    let sid = session.s_id in
+    let reg_id = reg.r_id in
+    Net.send session.s_net ~category:"evt.deregister" ~size:16 ~src:session.s_host
+      ~dst:srv.b_host (fun () ->
+        match find_sess srv sid with
+        | None -> ()
+        | Some ss -> ss.ss_regs <- List.remove_assoc reg_id ss.ss_regs)
+  end
+
+let pre_register session tpl =
+  let srv = session.s_server in
+  Net.send session.s_net ~category:"evt.preregister" ~size:96 ~src:session.s_host
+    ~dst:srv.b_host (fun () ->
+      (* Retention is server-wide and shared between clients (§6.8.1), so
+         pre-registration costs the server nothing extra per client; it is
+         accounted so experiments can compare traffic. *)
+      ignore tpl)
+
+let horizon session = session.s_horizon
+let stale session = session.s_stale
+let on_horizon session f = session.s_on_horizon <- f :: session.s_on_horizon
+let on_staleness session f = session.s_on_stale <- f :: session.s_on_stale
+
+let close session =
+  if not session.s_closed then begin
+    session.s_closed <- true;
+    let srv = session.s_server in
+    let sid = session.s_id in
+    Net.send session.s_net ~category:"evt.close" ~size:16 ~src:session.s_host ~dst:srv.b_host
+      (fun () -> srv.b_sessions <- List.filter (fun ss -> ss.ss_id <> sid) srv.b_sessions)
+  end

@@ -1,0 +1,110 @@
+(** Event broker: server-side signalling and client-side sessions (§6.2.2,
+    §6.8, §4.10).
+
+    A {!server} lives on a simulated host and signals events to connected
+    {!session}s according to their registered templates.  The transport
+    implements the paper's robustness machinery:
+
+    - every notification carries a per-session stream sequence number; gaps
+      are detected by the client, which nacks and triggers selective resend
+      from the server's unacked buffer;
+    - a {e heartbeat protocol}: the server sends a heartbeat every [t]
+      seconds carrying an {e event-horizon timestamp} (a lower bound on the
+      stamps of events yet to be signalled, §6.8.2); the client acknowledges
+      every [i] heartbeats so the server can discard delivered state;
+    - a client that sees neither events nor heartbeats for 1.5·[t] marks the
+      session {e stale} and surfaces it (OASIS turns this into credential
+      records entering the [Unknown] state, §4.10);
+    - {e pre-registration} and {e retrospective registration} (§6.8.1): the
+      server retains recent events for a bounded period; a registration with
+      [~since] immediately replays retained matching events from that time
+      before going live, closing the registration race. *)
+
+type server
+type session
+type registration
+
+(** {1 Server side} *)
+
+val create_server :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  name:string ->
+  ?heartbeat:float ->
+  ?ack_every:int ->
+  ?retention:float ->
+  ?horizon_lag:float ->
+  unit ->
+  server
+(** Defaults: heartbeat 1.0 s, ack every 4 heartbeats, retention 10 s of
+    events for retrospective registration, horizon lag 0 (events are
+    signalled with monotone stamps). *)
+
+val server_name : server -> string
+val server_host : server -> Oasis_sim.Net.host
+
+val signal : server -> ?stamp:float -> string -> Event.value list -> Event.t
+(** [signal srv name params] stamps (from the host clock unless [stamp] is
+    given), sequences, retains and delivers the event to all matching
+    sessions.  Returns the concrete event. *)
+
+val set_admission : server -> (credentials:string list -> bool) -> unit
+(** Admission control applied at session establishment (§6.2.2); the
+    default admits everyone.  Event security (ch. 7) installs real checks. *)
+
+val set_registration_filter :
+  server -> (credentials:string list -> Event.template -> Event.template option) -> unit
+(** Policy hook consulted at registration time: may narrow the template or
+    reject it ([None]).  ERDL preprocessing (fig 7.1) plugs in here. *)
+
+val server_horizon : server -> float
+(** Current event-horizon timestamp the server would advertise. *)
+
+val sessions : server -> int
+
+(** {1 Client side} *)
+
+val connect :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  server ->
+  ?credentials:string list ->
+  on_result:((session, string) result -> unit) ->
+  unit ->
+  unit
+(** Establish a session (one network round trip; admission control runs at
+    the server). *)
+
+val register :
+  session ->
+  ?since:float ->
+  Event.template ->
+  (Event.t -> unit) ->
+  registration
+(** Register interest.  With [~since], performs retrospective registration:
+    retained events with [stamp >= since] matching the template are
+    delivered (in stamp order) before live ones.  The callback runs on the
+    client host after notification latency.  Duplicate-suppressed. *)
+
+val deregister : registration -> unit
+
+val pre_register : session -> Event.template -> unit
+(** Declare future interest so the server keeps matching events buffered
+    (accounted; retention in this implementation is server-wide). *)
+
+val horizon : session -> float
+(** Latest event-horizon timestamp received from this server (the client's
+    knowledge of "no more events before ..."). *)
+
+val stale : session -> bool
+
+val on_horizon : session -> (float -> unit) -> unit
+(** Called whenever the session's horizon advances. *)
+
+val on_staleness : session -> (bool -> unit) -> unit
+(** Called with [true] when the session goes stale (missed heartbeats) and
+    [false] on recovery. *)
+
+val close : session -> unit
+
+val session_server : session -> server

@@ -1,0 +1,34 @@
+module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
+module Clock = Oasis_sim.Clock
+
+let make net host ?(clock_uncertainty = 0.0) sessions =
+  let engine = Net.engine net in
+  let relevant tpl =
+    match tpl.Event.tsource with
+    | Some source ->
+        List.filter
+          (fun s -> String.equal (Broker.server_name (Broker.session_server s)) source)
+          sessions
+    | None -> sessions
+  in
+  {
+    Bead.subscribe =
+      (fun tpl ~since cb ->
+        let regs = List.map (fun s -> Broker.register s ~since tpl cb) (relevant tpl) in
+        fun () -> List.iter Broker.deregister regs);
+    io_horizon =
+      (fun tpls ->
+        List.fold_left
+          (fun acc tpl ->
+            List.fold_left (fun acc s -> min acc (Broker.horizon s)) acc (relevant tpl))
+          infinity tpls);
+    on_horizon =
+      (fun f ->
+        let live = ref true in
+        List.iter (fun s -> Broker.on_horizon s (fun _ -> if !live then f ())) sessions;
+        fun () -> live := false);
+    io_now = (fun () -> Clock.read (Net.host_clock host));
+    io_after = (fun delay action -> Engine.schedule engine ~delay action);
+    clock_uncertainty;
+  }

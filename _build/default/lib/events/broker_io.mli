@@ -1,0 +1,12 @@
+(** {!Bead.io} over a set of live broker sessions: the distributed composite
+    event service of §6.7–6.8.  Registrations use retrospective registration
+    against each relevant server; horizons come from heartbeat traffic, so a
+    stalled or partitioned server stalls only the [without] beads that
+    depend on it. *)
+
+val make :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  ?clock_uncertainty:float ->
+  Broker.session list ->
+  Bead.io

@@ -1,0 +1,507 @@
+module Value = Oasis_rdl.Value
+module Ast = Oasis_rdl.Ast
+
+type value = Value.t
+
+type sexpr = Svar of string | Slit of value | Snow | Sadd of sexpr * sexpr | Ssub of sexpr * sexpr
+
+type satom = Scmp of Ast.relop * sexpr * sexpr | Sassign of string * sexpr
+
+type side = satom list
+
+type without_params = { delay : float option; probability : float option }
+
+type t =
+  | Base of Event.template * side
+  | Seq of t * t
+  | Or of t * t
+  | Without of t * t * without_params
+  | Whenever of t
+  | Null
+
+let no_params = { delay = None; probability = None }
+
+let rec base_templates = function
+  | Base (tpl, _) -> [ tpl ]
+  | Seq (a, b) | Or (a, b) | Without (a, b, _) -> base_templates a @ base_templates b
+  | Whenever c -> base_templates c
+  | Null -> []
+
+(* --- side expression evaluation --- *)
+
+let rec eval_sexpr ~now env = function
+  | Svar x -> List.assoc_opt x env
+  | Slit v -> Some v
+  | Snow -> Some (Value.Int (int_of_float now))
+  | Sadd (a, b) | Ssub (a, b) as e -> (
+      match (eval_sexpr ~now env a, eval_sexpr ~now env b) with
+      | Some (Value.Int x), Some (Value.Int y) ->
+          Some (Value.Int (match e with Sadd _ -> x + y | _ -> x - y))
+      | _ -> None)
+
+let eval_side ~now env side =
+  let rec go env = function
+    | [] -> Some env
+    | Scmp (op, a, b) :: rest -> (
+        match (eval_sexpr ~now env a, eval_sexpr ~now env b) with
+        | Some va, Some vb -> (
+            let truth =
+              match op with
+              | Ast.Eq -> Some (Value.equal va vb)
+              | Ast.Ne -> Some (not (Value.equal va vb))
+              | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (
+                  match (va, vb) with
+                  | Value.Int x, Value.Int y ->
+                      Some
+                        (match op with
+                        | Ast.Lt -> x < y
+                        | Ast.Le -> x <= y
+                        | Ast.Gt -> x > y
+                        | Ast.Ge -> x >= y
+                        | Ast.Eq | Ast.Ne -> assert false)
+                  | _ -> None)
+            in
+            match truth with Some true -> go env rest | Some false | None -> None)
+        | _ -> None)
+    | Sassign (x, e) :: rest -> (
+        match eval_sexpr ~now env e with
+        | None -> None
+        | Some v -> (
+            match List.assoc_opt x env with
+            | Some existing -> if Value.equal existing v then go env rest else None
+            | None -> go ((x, v) :: env) rest))
+  in
+  go env side
+
+(* --- lexer --- *)
+
+exception Parse_error of string
+
+type tok =
+  | TID of string
+  | TINT of int
+  | TSTR of string
+  | TLP
+  | TRP
+  | TLB
+  | TRB
+  | TCOMMA
+  | TDOT
+  | TSEMI
+  | TBAR
+  | TMINUS
+  | TDOLLAR
+  | TSTAR
+  | TAT
+  | TPLUS
+  | TASSIGN
+  | TEQ
+  | TNE
+  | TLT
+  | TLE
+  | TGT
+  | TGE
+  | TEOF
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let pos = ref 0 in
+  let emit t = toks := t :: !toks in
+  let peek off = if !pos + off < n then Some src.[!pos + off] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    match c with
+    | ' ' | '\t' | '\n' | '\r' -> incr pos
+    | '(' -> emit TLP; incr pos
+    | ')' -> emit TRP; incr pos
+    | '{' -> emit TLB; incr pos
+    | '}' -> emit TRB; incr pos
+    | ',' -> emit TCOMMA; incr pos
+    | '.' -> emit TDOT; incr pos
+    | ';' -> emit TSEMI; incr pos
+    | '|' -> emit TBAR; incr pos
+    | '-' -> emit TMINUS; incr pos
+    | '$' -> emit TDOLLAR; incr pos
+    | '*' -> emit TSTAR; incr pos
+    | '@' -> emit TAT; incr pos
+    | '+' -> emit TPLUS; incr pos
+    | '=' -> emit TEQ; incr pos
+    | ':' when peek 1 = Some '=' -> emit TASSIGN; pos := !pos + 2
+    | '<' when peek 1 = Some '-' -> emit TASSIGN; pos := !pos + 2
+    | '<' when peek 1 = Some '>' -> emit TNE; pos := !pos + 2
+    | '<' when peek 1 = Some '=' -> emit TLE; pos := !pos + 2
+    | '<' -> emit TLT; incr pos
+    | '>' when peek 1 = Some '=' -> emit TGE; pos := !pos + 2
+    | '>' -> emit TGT; incr pos
+    | '"' ->
+        incr pos;
+        let start = !pos in
+        while !pos < n && src.[!pos] <> '"' do
+          incr pos
+        done;
+        if !pos >= n then raise (Parse_error "unterminated string");
+        emit (TSTR (String.sub src start (!pos - start)));
+        incr pos
+    | '0' .. '9' ->
+        let start = !pos in
+        while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+          incr pos
+        done;
+        emit (TINT (int_of_string (String.sub src start (!pos - start))))
+    | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+        (* '@' continues an identifier when sandwiched between identifier
+           characters, so broker names like "Master@SiteA" work as event
+           sources; a standalone '@' is still the "now" token. *)
+        let start = !pos in
+        while
+          !pos < n
+          &&
+          match src.[!pos] with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+          | '@' -> (
+              match peek 1 with
+              | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') -> true
+              | _ -> false)
+          | _ -> false
+        do
+          incr pos
+        done;
+        emit (TID (String.sub src start (!pos - start)))
+    | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  emit TEOF;
+  List.rev !toks
+
+(* --- parser --- *)
+
+type pstate = { mutable toks : tok list }
+
+let pk st = match st.toks with t :: _ -> t | [] -> TEOF
+let pk2 st = match st.toks with _ :: t :: _ -> t | _ -> TEOF
+let adv st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let expect st t what = if pk st = t then adv st else raise (Parse_error ("expected " ^ what))
+
+let relop_of = function
+  | TEQ -> Some Ast.Eq
+  | TNE -> Some Ast.Ne
+  | TLT -> Some Ast.Lt
+  | TLE -> Some Ast.Le
+  | TGT -> Some Ast.Gt
+  | TGE -> Some Ast.Ge
+  | _ -> None
+
+let rec parse_sexpr st =
+  let base =
+    match pk st with
+    | TID x ->
+        adv st;
+        Svar x
+    | TINT n ->
+        adv st;
+        Slit (Value.Int n)
+    | TSTR s ->
+        adv st;
+        Slit (Value.Str s)
+    | TAT ->
+        adv st;
+        Snow
+    | TLP ->
+        adv st;
+        let e = parse_sexpr st in
+        expect st TRP "')'";
+        e
+    | _ -> raise (Parse_error "expected side-expression term")
+  in
+  match pk st with
+  | TPLUS ->
+      adv st;
+      Sadd (base, parse_sexpr st)
+  | TMINUS ->
+      adv st;
+      Ssub (base, parse_sexpr st)
+  | _ -> base
+
+let parse_satom st =
+  match (pk st, pk2 st) with
+  | TID x, TASSIGN ->
+      adv st;
+      adv st;
+      Sassign (x, parse_sexpr st)
+  | _ -> (
+      let left = parse_sexpr st in
+      match relop_of (pk st) with
+      | Some op ->
+          adv st;
+          Scmp (op, left, parse_sexpr st)
+      | None -> raise (Parse_error "expected comparison in side expression"))
+
+let parse_side st =
+  (* Caller consumed TLB. *)
+  let rec go acc =
+    let a = parse_satom st in
+    match pk st with
+    | TCOMMA ->
+        adv st;
+        go (a :: acc)
+    | TID "and" ->
+        adv st;
+        go (a :: acc)
+    | TRB ->
+        adv st;
+        List.rev (a :: acc)
+    | _ -> raise (Parse_error "expected ',' or '}' in side expression")
+  in
+  go []
+
+(* A brace group following a [-] right operand may be an operator parameter
+   ({Delay = d} / {Probability = p}) rather than a side expression. *)
+let brace_is_param st =
+  match st.toks with
+  | TLB :: TID ("Delay" | "Probability") :: TEQ :: _ -> true
+  | _ -> false
+
+let parse_number st =
+  match pk st with
+  | TINT n ->
+      adv st;
+      (* Optional fractional part: INT DOT INT *)
+      if pk st = TDOT then begin
+        adv st;
+        match pk st with
+        | TINT f ->
+            adv st;
+            let scale = 10.0 ** float_of_int (String.length (string_of_int f)) in
+            float_of_int n +. (float_of_int f /. scale)
+        | _ -> raise (Parse_error "expected digits after '.'")
+      end
+      else float_of_int n
+  | _ -> raise (Parse_error "expected number")
+
+let parse_without_params st =
+  (* Caller checked brace_is_param; consumes the whole brace group. *)
+  adv st (* TLB *);
+  let rec go params =
+    match pk st with
+    | TID "Delay" ->
+        adv st;
+        expect st TEQ "'='";
+        let d = parse_number st in
+        continue { params with delay = Some d }
+    | TID "Probability" ->
+        adv st;
+        expect st TEQ "'='";
+        let p = parse_number st in
+        continue { params with probability = Some p }
+    | _ -> raise (Parse_error "expected Delay or Probability")
+  and continue params =
+    match pk st with
+    | TCOMMA ->
+        adv st;
+        go params
+    | TRB ->
+        adv st;
+        params
+    | _ -> raise (Parse_error "expected ',' or '}'")
+  in
+  go no_params
+
+let parse_template st first =
+  (* [first] is the leading identifier (already consumed). *)
+  let source, name =
+    if pk st = TDOT then begin
+      adv st;
+      match pk st with
+      | TID n ->
+          adv st;
+          (Some first, n)
+      | _ -> raise (Parse_error "expected event name after '.'")
+    end
+    else (None, first)
+  in
+  let pats =
+    if pk st = TLP then begin
+      adv st;
+      if pk st = TRP then begin
+        adv st;
+        []
+      end
+      else
+        let rec go acc =
+          let p =
+            match pk st with
+            | TSTAR ->
+                adv st;
+                Event.Any
+            | TINT n ->
+                adv st;
+                Event.Lit (Value.Int n)
+            | TSTR s ->
+                adv st;
+                Event.Lit (Value.Str s)
+            | TID x ->
+                adv st;
+                Event.Var x
+            | _ -> raise (Parse_error "expected template parameter")
+          in
+          match pk st with
+          | TCOMMA ->
+              adv st;
+              go (p :: acc)
+          | TRP ->
+              adv st;
+              List.rev (p :: acc)
+          | _ -> raise (Parse_error "expected ',' or ')'")
+        in
+        go []
+    end
+    else []
+  in
+  Event.template ?source name pats
+
+let rec parse_seq st =
+  let left = parse_or st in
+  if pk st = TSEMI then begin
+    adv st;
+    Seq (left, parse_seq st)
+  end
+  else left
+
+and parse_or st =
+  let left = parse_without st in
+  if pk st = TBAR then begin
+    adv st;
+    Or (left, parse_or st)
+  end
+  else left
+
+and parse_without st =
+  let left = parse_prefix st in
+  if pk st = TMINUS then begin
+    adv st;
+    let right = parse_prefix st in
+    let params = if brace_is_param st then parse_without_params st else no_params in
+    (* Left-associative chain: (a - b) - c. *)
+    let rec continue acc =
+      if pk st = TMINUS then begin
+        adv st;
+        let right = parse_prefix st in
+        let params = if brace_is_param st then parse_without_params st else no_params in
+        continue (Without (acc, right, params))
+      end
+      else acc
+    in
+    continue (Without (left, right, params))
+  end
+  else left
+
+and parse_prefix st =
+  if pk st = TDOLLAR then begin
+    adv st;
+    Whenever (parse_prefix st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  match pk st with
+  | TLP ->
+      adv st;
+      let inner = parse_seq st in
+      expect st TRP "')'";
+      (* A side expression on a group applies to each base template in it. *)
+      if pk st = TLB && not (brace_is_param st) then begin
+        adv st;
+        let side = parse_side st in
+        attach_side inner side
+      end
+      else inner
+  | TID "null" ->
+      adv st;
+      Null
+  | TID first ->
+      adv st;
+      let tpl = parse_template st first in
+      let side =
+        if pk st = TLB && not (brace_is_param st) then begin
+          adv st;
+          parse_side st
+        end
+        else []
+      in
+      Base (tpl, side)
+  | _ -> raise (Parse_error "expected composite event expression")
+
+and attach_side comp side =
+  match comp with
+  | Base (tpl, existing) -> Base (tpl, existing @ side)
+  | Seq (a, b) -> Seq (a, attach_side b side)
+  | Or (a, b) -> Or (attach_side a side, attach_side b side)
+  | Without (a, b, p) -> Without (attach_side a side, b, p)
+  | Whenever c -> Whenever (attach_side c side)
+  | Null -> Null
+
+let parse src =
+  let st = { toks = lex src } in
+  let c = parse_seq st in
+  if pk st <> TEOF then raise (Parse_error "trailing input after expression");
+  c
+
+let parse_result src =
+  match parse src with c -> Ok c | exception Parse_error m -> Error m
+
+(* --- pretty printing --- *)
+
+let string_of_relop = function
+  | Ast.Eq -> "="
+  | Ast.Ne -> "<>"
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let rec pp_sexpr ppf = function
+  | Svar x -> Format.pp_print_string ppf x
+  | Slit v -> Value.pp ppf v
+  | Snow -> Format.pp_print_string ppf "@"
+  | Sadd (a, b) -> Format.fprintf ppf "%a + %a" pp_sexpr a pp_sexpr b
+  | Ssub (a, b) -> Format.fprintf ppf "%a - %a" pp_sexpr a pp_sexpr b
+
+let pp_side ppf = function
+  | [] -> ()
+  | atoms ->
+      let atom ppf = function
+        | Scmp (op, a, b) ->
+            Format.fprintf ppf "%a %s %a" pp_sexpr a (string_of_relop op) pp_sexpr b
+        | Sassign (x, e) -> Format.fprintf ppf "%s := %a" x pp_sexpr e
+      in
+      Format.fprintf ppf " {%a}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") atom)
+        atoms
+
+(* Precedence: seq 0, or 1, without 2, prefix 3. *)
+let rec pp_prec level ppf c =
+  let paren needed body = if needed then Format.fprintf ppf "(%t)" body else body ppf in
+  match c with
+  | Seq (a, b) ->
+      paren (level > 0) (fun ppf -> Format.fprintf ppf "%a; %a" (pp_prec 1) a (pp_prec 0) b)
+  | Or (a, b) ->
+      paren (level > 1) (fun ppf -> Format.fprintf ppf "%a | %a" (pp_prec 2) a (pp_prec 1) b)
+  | Without (a, b, params) ->
+      paren (level > 2) (fun ppf ->
+          Format.fprintf ppf "%a - %a" (pp_prec 2) a (pp_prec 3) b;
+          match (params.delay, params.probability) with
+          | None, None -> ()
+          | d, p ->
+              let parts =
+                List.filter_map Fun.id
+                  [ Option.map (Printf.sprintf "Delay = %g") d;
+                    Option.map (Printf.sprintf "Probability = %g") p ]
+              in
+              Format.fprintf ppf " {%s}" (String.concat ", " parts))
+  | Whenever inner -> Format.fprintf ppf "$%a" (pp_prec 3) inner
+  | Null -> Format.pp_print_string ppf "null"
+  | Base (tpl, side) -> Format.fprintf ppf "%a%a" Event.pp_template tpl pp_side side
+
+let pp = pp_prec 0
+let to_string c = Format.asprintf "%a" pp c

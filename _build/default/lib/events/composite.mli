@@ -1,0 +1,69 @@
+(** The composite event specification language (§6.5).
+
+    Operators (ASCII concrete syntax in braces):
+
+    - base event templates, e.g. [Seen(b, r)] — parameters are literals,
+      variables, or [*] wildcards; a [source.Name(...)] prefix pins the
+      issuing service;
+    - [C1 ; C2] — {e sequence}: C2 evaluated from each occurrence of C1;
+    - [C1 | C2] — {e inclusive or};
+    - [C1 - C2] — {e without}: C1 occurs without C2 having occurred first;
+      optional parameters [{Delay = d}] (§6.8.3) and [{Probability = p}]
+      (§6.8.4) attach to the operator;
+    - [$C] — {e whenever} (§6.4.2): a new evaluation starts each time the
+      previous one completes;
+    - [null] — the trivial event.
+
+    Precedence, tightest first: [$], [-], [|], [;] (§6.6: whenever binds most
+    closely, sequence least).
+
+    {e Side expressions} (§6.5.1) attach to a base template or parenthesised
+    group in braces: [Seen(x, y) {x <> "rjh21"}].  They are conjunctions of
+    comparisons and assignments over event parameters; [@] denotes the
+    current (local) time, e.g. [{t <- @ + 60}]. *)
+
+type value = Oasis_rdl.Value.t
+
+(** Side-expression terms. *)
+type sexpr =
+  | Svar of string
+  | Slit of value
+  | Snow  (** [@]: evaluation-local current time (seconds, as an Int) *)
+  | Sadd of sexpr * sexpr
+  | Ssub of sexpr * sexpr
+
+type satom =
+  | Scmp of Oasis_rdl.Ast.relop * sexpr * sexpr
+  | Sassign of string * sexpr  (** [x <- e]: bind or test-equal *)
+
+type side = satom list  (** conjunction *)
+
+type without_params = { delay : float option; probability : float option }
+
+type t =
+  | Base of Event.template * side
+  | Seq of t * t
+  | Or of t * t
+  | Without of t * t * without_params
+  | Whenever of t
+  | Null
+
+val no_params : without_params
+
+val base_templates : t -> Event.template list
+(** Every base template appearing in the expression (used to compute the
+    covering event-horizon for [without], §6.8.2). *)
+
+val eval_side : now:float -> Event.env -> side -> Event.env option
+(** Evaluate a side expression: [Some env'] with any new bindings if all
+    atoms hold, [None] otherwise. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse the concrete syntax above.  Raises {!Parse_error}. *)
+
+val parse_result : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

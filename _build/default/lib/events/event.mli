@@ -1,0 +1,55 @@
+(** Generic event objects and templates (§6.2).
+
+    Events are named, parametrised occurrences signalled by an event server.
+    The IDL preprocessor of the paper marshals concrete events into a generic
+    form that event services (composite detectors, multiplexers) manipulate
+    without knowing the concrete type; this module {e is} that generic form.
+
+    Acceptance expressions are {e event templates}: an instance of an event
+    with wildcard or variable parameters (§6.2.2, cf. query-by-example). *)
+
+type value = Oasis_rdl.Value.t
+
+type t = {
+  name : string;  (** event type, e.g. ["Seen"] *)
+  source : string;  (** name of the issuing service instance *)
+  params : value array;
+  stamp : float;  (** timestamp from the source host's clock *)
+  seq : int;  (** per-source sequence number, assigned by the broker *)
+}
+
+val make : name:string -> source:string -> ?stamp:float -> ?seq:int -> value list -> t
+
+type pattern =
+  | Lit of value  (** parameter must equal this value *)
+  | Var of string  (** binds (or must equal an existing binding) *)
+  | Any  (** wildcard [*] *)
+
+type template = {
+  tname : string;
+  tsource : string option;  (** [None]: accept from any source *)
+  pats : pattern array;
+}
+
+val template : ?source:string -> string -> pattern list -> template
+
+type env = (string * value) list
+
+val matches : ?env:env -> template -> t -> env option
+(** [matches ~env tpl e] is [Some env'] when [e] matches [tpl] under the
+    existing bindings: a [Var] already bound in [env] must equal the
+    parameter; an unbound [Var] extends the environment (§6.4.2).  Arity
+    must agree exactly. *)
+
+val instantiate : env -> template -> template
+(** Replace bound [Var]s with literals; used when registering interest so
+    that only genuinely interesting events are notified (§6.4.2). *)
+
+val specificity : template -> int
+(** Number of literal positions; a crude measure used in tests/benches. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_template : Format.formatter -> template -> unit
+val to_string : t -> string
+val marshal : t -> string
+(** Stable encoding for traffic-size accounting and hashing. *)

@@ -1,0 +1,41 @@
+module Pqueue = Oasis_util.Pqueue
+
+type held = { h_event : Event.t; h_cb : Event.t -> unit; h_live : bool ref }
+
+let wrap (io : Bead.io) : Bead.io =
+  let buffer : held Pqueue.t = Pqueue.create () in
+  (* The global horizon: a template with no source pin covers all sources. *)
+  let any_template = Event.template "(any)" [] in
+  let global_horizon () = io.Bead.io_horizon [ any_template ] in
+  let release () =
+    let h = global_horizon () in
+    let rec go () =
+      match Pqueue.peek buffer with
+      | Some (stamp, _) when stamp <= h -> (
+          match Pqueue.pop buffer with
+          | Some (_, held) ->
+              if !(held.h_live) then held.h_cb held.h_event;
+              go ()
+          | None -> ())
+      | _ -> ()
+    in
+    go ()
+  in
+  let _unsub = io.Bead.on_horizon release in
+  {
+    io with
+    Bead.subscribe =
+      (fun tpl ~since cb ->
+        let live = ref true in
+        let unsub =
+          io.Bead.subscribe tpl ~since (fun e ->
+              if !live then begin
+                Pqueue.push buffer e.Event.stamp { h_event = e; h_cb = cb; h_live = live };
+                release ()
+              end)
+        in
+        fun () ->
+          live := false;
+          unsub ());
+    io_horizon = (fun _ -> global_horizon ());
+  }

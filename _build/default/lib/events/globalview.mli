@@ -1,0 +1,16 @@
+(** Baseline: a {e global-view} composite detector (§6.4.1, §6.8.2).
+
+    Prior composite-event systems (the paper cites Schwiderski-style
+    buffer-and-reorder schemes) require a total order over all events: every
+    notification is held until the detector is certain no earlier-stamped
+    event from {e any} source can still arrive, then processed in stamp
+    order.  Correct, but the detector inherits the latency of the single
+    most-delayed source (fig 6.4).
+
+    [wrap io] produces an io with exactly those semantics: subscriptions
+    deliver events only once the {e global} horizon (min over all known
+    sources) passes their stamp, in global stamp order.  Plugging the result
+    into {!Bead.detect} yields the baseline detector measured against the
+    bead machine in experiment E5. *)
+
+val wrap : Bead.io -> Bead.io

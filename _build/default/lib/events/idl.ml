@@ -1,0 +1,219 @@
+module Ty = Oasis_rdl.Ty
+module Value = Oasis_rdl.Value
+
+type ty = Ty.t
+
+type operation = { op_name : string; op_params : (string * ty) list; op_returns : ty }
+
+type event_decl = { ev_name : string; ev_params : (string * ty) list }
+
+type interface = {
+  if_name : string;
+  if_operations : operation list;
+  if_events : event_decl list;
+}
+
+exception Idl_error of string
+
+(* A tiny hand lexer: identifiers, punctuation, set types. *)
+type tok = ID of string | PUNCT of char | SET of string | EOF
+
+let lex src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '#' ->
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+    | ('a' .. 'z' | 'A' .. 'Z' | '_') ->
+        let start = !i in
+        while
+          !i < n
+          && match src.[!i] with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false
+        do
+          incr i
+        done;
+        toks := ID (String.sub src start (!i - start)) :: !toks
+    | '{' ->
+        (* '{' opens either a set type ({rwx}) or the interface body; it is
+           a set type exactly when the text up to the next '}' is a plain
+           run of lowercase characters. *)
+        let j = ref (!i + 1) in
+        while !j < n && src.[!j] <> '}' && src.[!j] >= 'a' && src.[!j] <= 'z' do
+          incr j
+        done;
+        if !j < n && src.[!j] = '}' && !j > !i + 1 then begin
+          toks := SET (String.sub src (!i + 1) (!j - !i - 1)) :: !toks;
+          i := !j + 1
+        end
+        else begin
+          toks := PUNCT '{' :: !toks;
+          incr i
+        end
+    | ('(' | ')' | ':' | ';' | ',' | '}') as c ->
+        toks := PUNCT c :: !toks;
+        incr i
+    | c -> raise (Idl_error (Printf.sprintf "unexpected character %C" c))
+  done;
+  List.rev (EOF :: !toks)
+
+type st = { mutable toks : tok list }
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+let adv st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let expect_punct st c =
+  match peek st with
+  | PUNCT c' when c = c' -> adv st
+  | _ -> raise (Idl_error (Printf.sprintf "expected '%c'" c))
+
+let ident st =
+  match peek st with
+  | ID name ->
+      adv st;
+      name
+  | _ -> raise (Idl_error "expected identifier")
+
+let parse_ty st =
+  match peek st with
+  | ID "Integer" ->
+      adv st;
+      Ty.Int
+  | ID "String" ->
+      adv st;
+      Ty.Str
+  | SET alphabet ->
+      adv st;
+      (match Value.set_of_chars alphabet with
+      | Value.Set sorted -> Ty.Set sorted
+      | _ -> assert false)
+  | ID name ->
+      adv st;
+      Ty.Obj name
+  | _ -> raise (Idl_error "expected type")
+
+let parse_params st =
+  expect_punct st '(';
+  match peek st with
+  | PUNCT ')' ->
+      adv st;
+      []
+  | _ ->
+      let rec go acc =
+        let name = ident st in
+        expect_punct st ':';
+        let ty = parse_ty st in
+        match peek st with
+        | PUNCT ',' ->
+            adv st;
+            go ((name, ty) :: acc)
+        | PUNCT ')' ->
+            adv st;
+            List.rev ((name, ty) :: acc)
+        | _ -> raise (Idl_error "expected ',' or ')'")
+      in
+      go []
+
+let parse src =
+  try
+    let st = { toks = lex src } in
+    (match peek st with
+    | ID "interface" -> adv st
+    | _ -> raise (Idl_error "expected 'interface'"));
+    let if_name = ident st in
+    expect_punct st '{';
+    let operations = ref [] and events = ref [] in
+    let rec items () =
+      match peek st with
+      | EOF | PUNCT '}' -> ()
+      | ID "event" ->
+          adv st;
+          let ev_name = ident st in
+          let ev_params = parse_params st in
+          expect_punct st ';';
+          events := { ev_name; ev_params } :: !events;
+          items ()
+      | ID _ ->
+          let op_name = ident st in
+          let op_params = parse_params st in
+          expect_punct st ':';
+          let op_returns = parse_ty st in
+          expect_punct st ';';
+          operations := { op_name; op_params; op_returns } :: !operations;
+          items ()
+      | _ -> raise (Idl_error "expected operation or event declaration")
+    in
+    items ();
+    Ok { if_name; if_operations = List.rev !operations; if_events = List.rev !events }
+  with Idl_error msg -> Error msg
+
+let find_event iface name = List.find_opt (fun e -> String.equal e.ev_name name) iface.if_events
+
+let construct iface name args ~source ?stamp () =
+  match find_event iface name with
+  | None -> Error (Printf.sprintf "interface %s declares no event %s" iface.if_name name)
+  | Some decl ->
+      if List.length args <> List.length decl.ev_params then
+        Error
+          (Printf.sprintf "event %s expects %d parameter(s), got %d" name
+             (List.length decl.ev_params) (List.length args))
+      else
+        let rec check = function
+          | [] -> Ok (Event.make ~name ~source ?stamp args)
+          | ((pname, ty), v) :: rest ->
+              if Ty.compatible_value ty v then check rest
+              else
+                Error
+                  (Printf.sprintf "event %s parameter %s: %s does not inhabit %s" name pname
+                     (Value.to_string v) (Ty.to_string ty))
+        in
+        check (List.combine decl.ev_params args)
+
+let destruct iface (e : Event.t) =
+  match find_event iface e.Event.name with
+  | None -> Error (Printf.sprintf "interface %s declares no event %s" iface.if_name e.Event.name)
+  | Some decl ->
+      if Array.length e.Event.params <> List.length decl.ev_params then
+        Error (Printf.sprintf "event %s has the wrong arity" e.Event.name)
+      else
+        Ok (List.mapi (fun i (pname, _) -> (pname, e.Event.params.(i))) decl.ev_params)
+
+let template_of iface name constraints =
+  match find_event iface name with
+  | None -> Error (Printf.sprintf "interface %s declares no event %s" iface.if_name name)
+  | Some decl -> (
+      match
+        List.find_opt (fun (c, _) -> not (List.mem_assoc c decl.ev_params)) constraints
+      with
+      | Some (bad, _) -> Error (Printf.sprintf "event %s has no parameter %s" name bad)
+      | None ->
+          let pats =
+            List.map
+              (fun (pname, _) ->
+                match List.assoc_opt pname constraints with
+                | Some pat -> pat
+                | None -> Event.Any)
+              decl.ev_params
+          in
+          Ok (Event.template name pats))
+
+let pp ppf iface =
+  Format.fprintf ppf "interface %s {@\n" iface.if_name;
+  List.iter
+    (fun op ->
+      Format.fprintf ppf "  %s(%s) : %s;@\n" op.op_name
+        (String.concat ", "
+           (List.map (fun (n, t) -> n ^ ": " ^ Ty.to_string t) op.op_params))
+        (Ty.to_string op.op_returns))
+    iface.if_operations;
+  List.iter
+    (fun ev ->
+      Format.fprintf ppf "  event %s(%s);@\n" ev.ev_name
+        (String.concat ", "
+           (List.map (fun (n, t) -> n ^ ": " ^ Ty.to_string t) ev.ev_params)))
+    iface.if_events;
+  Format.fprintf ppf "}"

@@ -1,0 +1,58 @@
+(** Interface definition language for services that combine RPC and event
+    interfaces (§6.2.1).
+
+    The paper specifies events in an extended RPC IDL; the preprocessor
+    emits client/server stubs plus {e constructors} and {e destructors}
+    that marshal concrete events into generic event objects.  This module
+    is that preprocessor, minus code generation: it parses interface text
+    into a typed schema and provides checked constructor/destructor
+    functions driven by it.
+
+    Concrete syntax:
+
+    {v
+    interface Printer {
+      Print(name: String) : Integer;
+      Query(jobno: Integer) : Status;
+      event Finished(jobno: Integer);
+      event Jammed(tray: Integer, fatal: Integer);
+    }
+    v}
+
+    Types are RDL types: [Integer], [String], a set type [{rwx}], or an
+    object type name. *)
+
+type ty = Oasis_rdl.Ty.t
+
+type operation = { op_name : string; op_params : (string * ty) list; op_returns : ty }
+
+type event_decl = { ev_name : string; ev_params : (string * ty) list }
+
+type interface = {
+  if_name : string;
+  if_operations : operation list;
+  if_events : event_decl list;
+}
+
+exception Idl_error of string
+
+val parse : string -> (interface, string) result
+
+val find_event : interface -> string -> event_decl option
+
+val construct :
+  interface -> string -> Event.value list -> source:string -> ?stamp:float -> unit ->
+  (Event.t, string) result
+(** Typed event constructor: checks the event is declared and each argument
+    inhabits the declared parameter type. *)
+
+val destruct : interface -> Event.t -> ((string * Event.value) list, string) result
+(** Typed destructor: returns the event's parameters labelled with their
+    declared names; errors if the event is undeclared or malformed. *)
+
+val template_of :
+  interface -> string -> (string * Event.pattern) list -> (Event.template, string) result
+(** Build a template by naming only the parameters you constrain; the rest
+    become wildcards.  Unknown parameter names are errors. *)
+
+val pp : Format.formatter -> interface -> unit

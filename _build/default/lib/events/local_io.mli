@@ -1,0 +1,26 @@
+(** In-process event source for unit tests and micro-benchmarks: zero
+    latency, manually advanced clock, retained buffer for retrospective
+    registration, explicit horizon control per source. *)
+
+type t
+
+val create : ?clock_uncertainty:float -> ?retention:float -> unit -> t
+
+val io : t -> Bead.io
+
+val signal : t -> ?source:string -> ?stamp:float -> string -> Event.value list -> Event.t
+(** Signal an event (default source ["local"], default stamp = current
+    time).  Also advances the source's horizon to the stamp. *)
+
+val set_time : t -> float -> unit
+(** Advance the clock; fires due timers and advances horizons of sources
+    without an explicit lag. *)
+
+val now : t -> float
+
+val hold_horizon : t -> string -> unit
+(** Freeze the named source's horizon (models a delayed/failed source);
+    events from it may still be signalled (they arrive "late"). *)
+
+val release_horizon : t -> string -> unit
+(** Un-freeze and advance the source's horizon to the current time. *)

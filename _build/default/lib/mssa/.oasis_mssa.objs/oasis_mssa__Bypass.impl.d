@@ -1,0 +1,1 @@
+lib/mssa/bypass.ml: Custode Format Hashtbl Oasis_core Oasis_sim Vac

@@ -1,0 +1,1 @@
+lib/mssa/bypass.mli: Custode Oasis_core Oasis_sim Vac

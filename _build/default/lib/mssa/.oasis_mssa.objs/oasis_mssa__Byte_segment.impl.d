@@ -1,0 +1,1 @@
+lib/mssa/byte_segment.ml: Buffer Format Hashtbl Oasis_core Oasis_rdl String

@@ -1,0 +1,1 @@
+lib/mssa/byte_segment.mli: Oasis_core Oasis_sim

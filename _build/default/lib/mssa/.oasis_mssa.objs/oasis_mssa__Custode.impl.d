@@ -1,0 +1,1 @@
+lib/mssa/custode.ml: Byte_segment Format Hashtbl List Oasis_core Oasis_rdl Oasis_sim Option Printf String Types

@@ -1,0 +1,1 @@
+lib/mssa/custode.mli: Byte_segment Oasis_core Oasis_rdl Oasis_sim Types

@@ -1,0 +1,1 @@
+lib/mssa/types.ml: Format String

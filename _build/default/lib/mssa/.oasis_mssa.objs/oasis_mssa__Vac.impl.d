@@ -1,0 +1,1 @@
+lib/mssa/vac.ml: Custode Format Hashtbl List Oasis_core Oasis_rdl Oasis_sim Option String Types

@@ -1,0 +1,1 @@
+lib/mssa/vac.mli: Custode Oasis_core Oasis_sim

@@ -1,0 +1,32 @@
+(** Custode bypassing (§5.6, fig 5.8).
+
+    Operations a VAC passes through unmodified can go straight to the bottom
+    custode.  The bottom custode does not understand the top-level VAC's
+    certificates, so on first use it makes a {e callback} to the top-level
+    service to validate the certificate; the validated credential record is
+    mirrored locally (an external record kept fresh by [Modified] event
+    notification), after which repeated uses are a local state check — never
+    less efficient than the full stack walk, and much cheaper once warm. *)
+
+type t
+
+val create : Custode.t -> t
+(** Bypass state co-located with the bottom custode. *)
+
+val register_route : t -> top:Vac.t -> unit
+(** Allow certificates issued by [top] to be used directly at the bottom
+    custode; operations execute under the lowest VAC's own certificate
+    (fig 5.8b). *)
+
+val read :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  cert:Oasis_core.Cert.rmc ->
+  file:int ->
+  ((string, string) result -> unit) ->
+  unit
+(** One client→bottom round trip, plus (on cold cache) one callback round
+    trip to the issuing VAC. *)
+
+val cache_size : t -> int
+val callbacks_made : t -> int

@@ -1,0 +1,33 @@
+(** Common MSSA types (§5.2).
+
+    Every file is named by a machine-oriented unique identifier that can be
+    examined to locate the custode responsible for it. *)
+
+type file_ref = { fr_custode : string; fr_id : int }
+
+let pp_file_ref ppf r = Format.fprintf ppf "%s#%d" r.fr_custode r.fr_id
+let file_ref_to_string r = Format.asprintf "%a" pp_file_ref r
+
+let file_ref_of_string s =
+  match String.index_opt s '#' with
+  | None -> None
+  | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some id -> Some { fr_custode = String.sub s 0 i; fr_id = id }
+      | None -> None)
+
+(** Rights universe for storage objects: read, write, execute, delete,
+    administer. *)
+let full_rights = "adrwx"
+
+(** File kinds stored by the different custodes (§5.2): flat data,
+    structured (compound documents with embedded references), continuous
+    media (modelled as flat data with play/record rights), and ACL files
+    themselves (§5.4.1). *)
+type kind = Flat | Structured | Continuous | Acl_file
+
+let kind_to_string = function
+  | Flat -> "flat"
+  | Structured -> "structured"
+  | Continuous -> "continuous"
+  | Acl_file -> "acl"

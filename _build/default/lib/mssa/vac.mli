@@ -1,0 +1,74 @@
+(** Value-adding custodes (§5.2, §5.6).
+
+    A VAC appears to its clients as a standard file custode but is
+    implemented by abstracting the interface of the custode (or VAC) below —
+    here, an {e indexed} custode (fig 5.7): it adds keyword search, passes
+    read/write through unmodified, and holds a single certificate for the
+    level below covering all its files (§5.5: one certificate per VAC, not
+    per file, thanks to shared ACLs). *)
+
+type t
+
+type below = Below_custode of Custode.t | Below_vac of t
+
+val create :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  Oasis_core.Service.registry ->
+  name:string ->
+  below:below ->
+  below_cert:Oasis_core.Cert.rmc ->
+  (t, string) result
+(** [below_cert] is this VAC's own [UseAcl] certificate at the level
+    below. *)
+
+val name : t -> string
+val service : t -> Oasis_core.Service.t
+val host : t -> Oasis_sim.Net.host
+val below_cert : t -> Oasis_core.Cert.rmc
+val bottom : t -> Custode.t
+(** The real custode at the bottom of the stack. *)
+
+val bottom_exec_cert : t -> Oasis_core.Cert.rmc
+(** The certificate the {e lowest} VAC holds for the bottom custode — what a
+    bypass route executes with (fig 5.8). *)
+
+val depth : t -> int
+(** Number of custodes in the stack including the bottom. *)
+
+val grant : t -> client:Oasis_core.Principal.vci -> Oasis_core.Cert.rmc
+(** Issue a client a [UseAcl("vac", ...)] certificate for this VAC.  Its
+    credential record conjoins the VAC's own validity at the level below,
+    so revocation anywhere down the stack cascades to clients. *)
+
+val revoke_grants : t -> unit
+(** Invalidate every certificate this VAC has granted (policy change). *)
+
+(** {1 Operations through the stack (no bypassing: one hop per level)} *)
+
+val read :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  cert:Oasis_core.Cert.rmc ->
+  file:int ->
+  ((string, string) result -> unit) ->
+  unit
+
+val write :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  cert:Oasis_core.Cert.rmc ->
+  file:int ->
+  string ->
+  ((unit, string) result -> unit) ->
+  unit
+
+val search :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  cert:Oasis_core.Cert.rmc ->
+  string ->
+  ((int list, string) result -> unit) ->
+  unit
+(** The added value: keyword lookup (served at this VAC; index maintained on
+    writes through the stack). *)

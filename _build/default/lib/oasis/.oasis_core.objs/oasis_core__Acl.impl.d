@@ -1,0 +1,1 @@
+lib/oasis/acl.ml: Char List Printf String

@@ -1,0 +1,1 @@
+lib/oasis/baseline.ml: Hashtbl List Oasis_rdl Oasis_sim Oasis_util Printf String

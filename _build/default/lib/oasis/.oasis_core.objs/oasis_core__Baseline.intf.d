@@ -1,0 +1,1 @@
+lib/oasis/baseline.mli: Oasis_rdl Oasis_sim

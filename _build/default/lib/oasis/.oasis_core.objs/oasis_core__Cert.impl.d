@@ -1,0 +1,1 @@
+lib/oasis/cert.ml: Credrec Format List Oasis_rdl Oasis_util Principal Printf String

@@ -1,0 +1,1 @@
+lib/oasis/cert.mli: Credrec Format Oasis_rdl Oasis_util Principal

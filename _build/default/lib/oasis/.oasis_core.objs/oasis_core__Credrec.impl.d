@@ -1,0 +1,1 @@
+lib/oasis/credrec.ml: Array Format List Printf String

@@ -1,0 +1,1 @@
+lib/oasis/credrec.mli: Format

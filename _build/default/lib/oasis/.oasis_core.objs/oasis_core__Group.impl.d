@@ -1,0 +1,1 @@
+lib/oasis/group.ml: Credrec Hashtbl List Oasis_rdl

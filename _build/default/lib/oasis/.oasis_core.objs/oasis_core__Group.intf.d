@@ -1,0 +1,1 @@
+lib/oasis/group.mli: Credrec Oasis_rdl

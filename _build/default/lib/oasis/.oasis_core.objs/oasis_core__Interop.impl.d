@@ -1,0 +1,1 @@
+lib/oasis/interop.ml: Cert Hashtbl List Oasis_rdl Principal Service String

@@ -1,0 +1,1 @@
+lib/oasis/interop.mli: Cert Oasis_rdl Principal Service

@@ -1,0 +1,1 @@
+lib/oasis/principal.ml: Format List Printf String

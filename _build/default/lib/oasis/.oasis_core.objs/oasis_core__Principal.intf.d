@@ -1,0 +1,1 @@
+lib/oasis/principal.mli: Format

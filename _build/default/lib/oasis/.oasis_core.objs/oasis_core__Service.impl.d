@@ -1,0 +1,1 @@
+lib/oasis/service.ml: Acl Cert Credrec Format Fun Group Hashtbl Int64 List Oasis_events Oasis_rdl Oasis_sim Oasis_util Option Principal Printf String

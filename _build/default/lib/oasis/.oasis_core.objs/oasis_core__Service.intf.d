@@ -1,0 +1,1 @@
+lib/oasis/service.mli: Cert Credrec Format Group Oasis_events Oasis_rdl Oasis_sim Principal

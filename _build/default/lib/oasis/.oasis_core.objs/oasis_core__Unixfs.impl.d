@@ -1,0 +1,1 @@
+lib/oasis/unixfs.ml: Acl Buffer Cert Group List Oasis_rdl Printf Service String

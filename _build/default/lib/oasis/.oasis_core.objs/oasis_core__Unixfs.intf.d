@@ -1,0 +1,1 @@
+lib/oasis/unixfs.mli: Cert Oasis_sim Principal Service

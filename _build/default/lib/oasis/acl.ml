@@ -1,0 +1,114 @@
+type subject = User of string | Group of string | Other
+
+type entry = { negative : bool; subject : subject; rights : string }
+
+type t = entry list
+
+let sort_rights s =
+  let chars = List.init (String.length s) (String.get s) in
+  let sorted = List.sort_uniq Char.compare chars in
+  String.init (List.length sorted) (List.nth sorted)
+
+let parse src =
+  let words =
+    String.split_on_char ' ' src
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun w -> w <> "")
+  in
+  let parse_entry w =
+    let negative, body =
+      if String.length w > 0 && w.[0] = '-' then (true, String.sub w 1 (String.length w - 1))
+      else if String.length w > 0 && w.[0] = '+' then (false, String.sub w 1 (String.length w - 1))
+      else (false, w)
+    in
+    match String.index_opt body '=' with
+    | None -> Error (Printf.sprintf "malformed ACL entry %S (no '=')" w)
+    | Some eq ->
+        let subject_text = String.sub body 0 eq in
+        let rights = String.sub body (eq + 1) (String.length body - eq - 1) in
+        let rights = String.concat "" (String.split_on_char '-' rights) in
+        let subject =
+          if String.equal subject_text "other" then Other
+          else if String.length subject_text > 0 && subject_text.[0] = '%' then
+            Group (String.sub subject_text 1 (String.length subject_text - 1))
+          else User subject_text
+        in
+        Ok { negative; subject; rights = sort_rights rights }
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | w :: rest -> ( match parse_entry w with Ok e -> go (e :: acc) rest | Error _ as e -> e)
+  in
+  go [] words
+
+let to_string entries =
+  String.concat " "
+    (List.map
+       (fun e ->
+         Printf.sprintf "%s%s=%s"
+           (if e.negative then "-" else "+")
+           (match e.subject with User u -> u | Group g -> "%" ^ g | Other -> "other")
+           e.rights)
+       entries)
+
+let subject_matches ~user ~in_group = function
+  | User u -> String.equal u user
+  | Group g -> in_group g
+  | Other -> true
+
+let set_minus a b = String.concat "" (List.filter_map (fun c ->
+    if String.contains b c then None else Some (String.make 1 c))
+    (List.init (String.length a) (String.get a)))
+
+let set_inter a b = String.concat "" (List.filter_map (fun c ->
+    if String.contains b c then Some (String.make 1 c) else None)
+    (List.init (String.length a) (String.get a)))
+
+let set_union a b = sort_rights (a ^ b)
+
+let rights entries ~user ~in_group ~full =
+  (* G starts empty, P starts full; entries are applied in order (§5.4.4). *)
+  let granted = ref "" in
+  let possible = ref (sort_rights full) in
+  List.iter
+    (fun e ->
+      if subject_matches ~user ~in_group e.subject then
+        if e.negative then possible := set_minus !possible e.rights
+        else granted := set_union !granted (set_inter !possible e.rights))
+    entries;
+  sort_rights !granted
+
+let unixacl src ~user ~in_group =
+  match parse src with
+  | Error _ -> ""
+  | Ok entries ->
+      (* Unix-style most-closely-binding: exact user entry wins; otherwise
+         union of matching "group" entries (plain subjects other than the
+         user are treated as group names here, matching the paper's
+         "rjh21=rwx staff=rx other=r" examples); otherwise [other]. *)
+      let user_entry =
+        List.find_opt (fun e -> match e.subject with User u -> String.equal u user | _ -> false)
+      in
+      let as_group e =
+        match e.subject with
+        | User g -> if in_group g then Some e.rights else None
+        | Group g -> if in_group g then Some e.rights else None
+        | Other -> None
+      in
+      (match user_entry entries with
+      | Some e -> e.rights
+      | None -> (
+          let group_rights = List.filter_map as_group entries in
+          match group_rights with
+          | _ :: _ -> sort_rights (String.concat "" group_rights)
+          | [] -> (
+              match List.find_opt (fun e -> e.subject = Other) entries with
+              | Some e -> e.rights
+              | None -> "")))
+
+let groups_mentioned entries =
+  List.filter_map (function { subject = Group g; _ } -> Some g | _ -> None) entries
+  |> List.sort_uniq String.compare
+
+let to_rdl ?(role = "UseAcl") ?(cred = "Login.LoggedOn") ~full entries =
+  Printf.sprintf "%s(r) <- %s(u) : r = acl(\"%s\", \"%s\", u)" role cred (to_string entries) full

@@ -1,0 +1,45 @@
+(** Access control lists: the standard OASIS/MSSA format (§5.4.4) and the
+    Unix legacy mapping (§3.3.3).
+
+    The standard format is an {e ordered} list of positive and negative
+    entries.  Rights are computed with the grant/possible-set algorithm of
+    §5.4.4: walk the entries in order keeping a set [G] of granted rights
+    (initially empty) and a set [P] of still-possible rights (initially
+    full); a matching negative entry removes its rights from [P]; a matching
+    positive entry adds [P ∩ R] to [G].  No "difficult cases": earlier
+    entries always win conflicts. *)
+
+type subject =
+  | User of string
+  | Group of string
+  | Other  (** matches everyone *)
+
+type entry = { negative : bool; subject : subject; rights : string }
+
+type t = entry list
+
+val parse : string -> (t, string) result
+(** Syntax: whitespace-separated entries [\[+|-\]subject=rights]; subjects
+    starting with [%] are groups, [other] is the wildcard, anything else a
+    user.  Example: ["-%student=w +rjh21=rwx +%staff=rx +other=r"].  A
+    missing sign means positive. *)
+
+val to_string : t -> string
+
+val rights : t -> user:string -> in_group:(string -> bool) -> full:string -> string
+(** The §5.4.4 algorithm.  [full] is the universe of rights for the object
+    type; the result is the sorted set of granted rights characters. *)
+
+val unixacl : string -> user:string -> in_group:(string -> bool) -> string
+(** Legacy mapping (§3.3.3): ["rjh21=rwx staff=r-x other=r--"] with Unix
+    most-closely-binding semantics: the user entry if any, else the union of
+    matching group entries, else [other]. ['-'] placeholders are ignored. *)
+
+val groups_mentioned : t -> string list
+(** Group names appearing in the list — the memberships a certificate issued
+    from this ACL depends on. *)
+
+val to_rdl : ?role:string -> ?cred:string -> full:string -> t -> string
+(** Render the ACL as RDL entry statements (§3.3.3): one statement per
+    logged-on user granting [role(r)] where [r = acl(...)]; in practice a
+    single statement using the [acl] extension function. *)

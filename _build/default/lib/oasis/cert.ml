@@ -1,0 +1,106 @@
+module Value = Oasis_rdl.Value
+module Bitset = Oasis_util.Bitset
+module Signing = Oasis_util.Signing
+
+type value = Value.t
+
+type rmc = {
+  holder : Principal.vci;
+  service : string;
+  rolefile : string;
+  roles : Bitset.t;
+  args : value list;
+  crr : Credrec.cref;
+  issued_at : float;
+  rmc_sig : string;
+}
+
+type delegation = {
+  d_service : string;
+  d_rolefile : string;
+  d_role : string;
+  d_required : (string * string * value list) list;
+  d_crr : Credrec.cref;
+  d_delegator_crr : Credrec.cref;
+  d_delegator_role : string;
+  d_delegator_args : value list;
+  d_expires : float option;
+  d_sig : string;
+}
+
+type revocation = {
+  r_service : string;
+  r_role : string;
+  r_delegator_crr : Credrec.cref;
+  r_target_crr : Credrec.cref;
+  r_sig : string;
+}
+
+let args_payload args = String.concat "\x01" (List.map Value.marshal args)
+
+let rmc_payload c =
+  String.concat "\x00"
+    [
+      Principal.vci_to_string c.holder;
+      c.service;
+      c.rolefile;
+      Bitset.marshal c.roles;
+      args_payload c.args;
+      Credrec.marshal_ref c.crr;
+      Printf.sprintf "%.6f" c.issued_at;
+    ]
+
+let delegation_payload d =
+  String.concat "\x00"
+    [
+      d.d_service;
+      d.d_rolefile;
+      d.d_role;
+      String.concat "\x02"
+        (List.map
+           (fun (svc, role, args) -> String.concat "\x01" [ svc; role; args_payload args ])
+           d.d_required);
+      Credrec.marshal_ref d.d_crr;
+      Credrec.marshal_ref d.d_delegator_crr;
+      d.d_delegator_role;
+      args_payload d.d_delegator_args;
+      (match d.d_expires with Some e -> Printf.sprintf "%.6f" e | None -> "-");
+    ]
+
+let revocation_payload r =
+  String.concat "\x00"
+    [
+      r.r_service;
+      r.r_role;
+      Credrec.marshal_ref r.r_delegator_crr;
+      Credrec.marshal_ref r.r_target_crr;
+    ]
+
+let sign_rmc secrets ~length c =
+  { c with rmc_sig = Signing.Rolling.sign ~length secrets (rmc_payload c) }
+
+let verify_rmc secrets c = Signing.Rolling.verify secrets (rmc_payload c) c.rmc_sig
+
+let sign_delegation secrets ~length d =
+  { d with d_sig = Signing.Rolling.sign ~length secrets (delegation_payload d) }
+
+let verify_delegation secrets d =
+  Signing.Rolling.verify secrets (delegation_payload d) d.d_sig
+
+let sign_revocation secrets ~length r =
+  { r with r_sig = Signing.Rolling.sign ~length secrets (revocation_payload r) }
+
+let verify_revocation secrets r =
+  Signing.Rolling.verify secrets (revocation_payload r) r.r_sig
+
+let has_role ~role_bits c role =
+  match List.assoc_opt role role_bits with
+  | Some bit -> Bitset.mem bit c.roles
+  | None -> false
+
+let pp_rmc ppf c =
+  Format.fprintf ppf "RMC{%s %s[%s] roles=%a args=(%s) crr=%s}"
+    (Principal.vci_to_string c.holder)
+    c.service c.rolefile Bitset.pp c.roles
+    (String.concat ", " (List.map Value.to_string c.args))
+    (Credrec.marshal_ref c.crr)

@@ -1,0 +1,315 @@
+type cref = { index : int; magic : int }
+
+type state = True | False | Unknown
+
+type op = And | Or | Nand | Nor
+
+type record = {
+  mutable magic : int;
+  mutable used : bool;
+  mutable is_leaf : bool;
+  mutable op : op;
+  mutable n_parents : int;
+  mutable p_true : int;
+  mutable p_false : int;
+  mutable p_unknown : int;
+  mutable children : (cref * bool) list;  (* (child, edge negated) *)
+  mutable st : state;
+  mutable permanent : bool;
+  mutable direct_use : bool;
+  mutable auto_revoke : bool;
+  mutable hooks : (state -> unit) list;
+}
+
+type table = {
+  mutable slots : record array;
+  mutable free : int list;
+  mutable high_water : int;
+}
+
+let blank () =
+  {
+    magic = 0;
+    used = false;
+    is_leaf = true;
+    op = And;
+    n_parents = 0;
+    p_true = 0;
+    p_false = 0;
+    p_unknown = 0;
+    children = [];
+    st = True;
+    permanent = false;
+    direct_use = false;
+    auto_revoke = false;
+    hooks = [];
+  }
+
+let create_table () = { slots = Array.init 64 (fun _ -> blank ()); free = []; high_water = 0 }
+
+let get t r =
+  if r.index < 0 || r.index >= Array.length t.slots then None
+  else
+    let slot = t.slots.(r.index) in
+    if slot.used && slot.magic = r.magic then Some slot else None
+
+let alloc t =
+  match t.free with
+  | i :: rest ->
+      t.free <- rest;
+      i
+  | [] ->
+      if t.high_water >= Array.length t.slots then begin
+        let bigger = Array.init (2 * Array.length t.slots) (fun _ -> blank ()) in
+        Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+        t.slots <- bigger
+      end;
+      let i = t.high_water in
+      t.high_water <- t.high_water + 1;
+      i
+
+let fresh t =
+  let i = alloc t in
+  let slot = t.slots.(i) in
+  slot.used <- true;
+  slot.magic <- slot.magic + 1;
+  slot.is_leaf <- true;
+  slot.op <- And;
+  slot.n_parents <- 0;
+  slot.p_true <- 0;
+  slot.p_false <- 0;
+  slot.p_unknown <- 0;
+  slot.children <- [];
+  slot.st <- True;
+  slot.permanent <- false;
+  slot.direct_use <- false;
+  slot.auto_revoke <- false;
+  slot.hooks <- [];
+  ({ index = i; magic = slot.magic }, slot)
+
+(* State of a combining record from its counters (§4.8). *)
+let computed_state slot =
+  let base =
+    match slot.op with
+    | And | Nand ->
+        if slot.p_false > 0 then False else if slot.p_unknown > 0 then Unknown else True
+    | Or | Nor ->
+        if slot.p_true > 0 then True else if slot.p_unknown > 0 then Unknown else False
+  in
+  match (slot.op, base) with
+  | (And | Or), s -> s
+  | (Nand | Nor), True -> False
+  | (Nand | Nor), False -> True
+  | (Nand | Nor), Unknown -> Unknown
+
+let seen_through negated s =
+  if not negated then s else match s with True -> False | False -> True | Unknown -> Unknown
+
+(* Propagate a state change of [r] (already applied to its slot) into its
+   children, recursively, firing hooks along the way. *)
+let rec propagate t r slot ~old_state =
+  if slot.st <> old_state then begin
+    List.iter (fun hook -> hook slot.st) slot.hooks;
+    (* Visit children; prune dangling edges as we go. *)
+    let live_children =
+      List.filter
+        (fun (child_ref, negated) ->
+          match get t child_ref with
+          | None -> false
+          | Some child ->
+              update_counters child ~from:(seen_through negated old_state)
+                ~into:(seen_through negated slot.st);
+              recompute t child_ref child;
+              true)
+        slot.children
+    in
+    slot.children <- live_children
+  end
+
+and update_counters child ~from ~into =
+  if from <> into then begin
+    (match from with
+    | True -> child.p_true <- child.p_true - 1
+    | False -> child.p_false <- child.p_false - 1
+    | Unknown -> child.p_unknown <- child.p_unknown - 1);
+    match into with
+    | True -> child.p_true <- child.p_true + 1
+    | False -> child.p_false <- child.p_false + 1
+    | Unknown -> child.p_unknown <- child.p_unknown + 1
+  end
+
+and recompute t child_ref child =
+  if not child.permanent then begin
+    let old_state = child.st in
+    child.st <- computed_state child;
+    propagate t child_ref child ~old_state
+  end
+
+let leaf t ?(state = True) () =
+  let r, slot = fresh t in
+  slot.st <- state;
+  r
+
+let parent_contribution t (parent_ref, negated) =
+  match get t parent_ref with
+  | Some p -> seen_through negated p.st
+  | None -> seen_through negated False
+
+let add_parent t ~child ?(negated = false) parent_ref =
+  match get t child with
+  | None -> ()
+  | Some child_slot ->
+      if child_slot.is_leaf then invalid_arg "Credrec.add_parent: child is a leaf";
+      (match get t parent_ref with
+      | Some p -> p.children <- (child, negated) :: p.children
+      | None -> ());
+      child_slot.n_parents <- child_slot.n_parents + 1;
+      (match parent_contribution t (parent_ref, negated) with
+      | True -> child_slot.p_true <- child_slot.p_true + 1
+      | False -> child_slot.p_false <- child_slot.p_false + 1
+      | Unknown -> child_slot.p_unknown <- child_slot.p_unknown + 1);
+      recompute t child child_slot
+
+let combine_fresh t ?(op = And) parents =
+  let r, slot = fresh t in
+  slot.is_leaf <- false;
+  slot.op <- op;
+  slot.st <- computed_state slot;
+  List.iter (fun (p, negated) -> add_parent t ~child:r ~negated p) parents;
+  r
+
+let combine t ?(op = And) parents =
+  match (op, parents) with
+  | And, [ (single, false) ] -> single (* §4.7's one-record optimisation *)
+  | _ -> combine_fresh t ~op parents
+
+let state t r = match get t r with Some slot -> slot.st | None -> False
+
+let is_permanent t r = match get t r with Some slot -> slot.permanent | None -> true
+
+let live t r = get t r <> None
+
+let set_leaf t r new_state =
+  match get t r with
+  | None -> ()
+  | Some slot ->
+      if (not slot.permanent) && slot.st <> new_state then begin
+        if not slot.is_leaf then invalid_arg "Credrec.set_leaf: not a leaf record";
+        let old_state = slot.st in
+        slot.st <- new_state;
+        propagate t r slot ~old_state
+      end
+
+let make_permanent t r =
+  match get t r with None -> () | Some slot -> slot.permanent <- true
+
+let invalidate t r =
+  match get t r with
+  | None -> ()
+  | Some slot ->
+      if not slot.permanent then begin
+        let old_state = slot.st in
+        slot.st <- False;
+        slot.permanent <- true;
+        propagate t r slot ~old_state
+      end
+
+let set_direct_use t r v = match get t r with Some slot -> slot.direct_use <- v | None -> ()
+let set_auto_revoke t r v = match get t r with Some slot -> slot.auto_revoke <- v | None -> ()
+
+let on_change t r hook =
+  match get t r with Some slot -> slot.hooks <- hook :: slot.hooks | None -> ()
+
+let clear_hooks t r = match get t r with Some slot -> slot.hooks <- [] | None -> ()
+
+(* Forced-input analysis for GC: for And/Nand a permanently-False parent
+   forces the child; for Or/Nor a permanently-True parent does. *)
+let forcing_input op = match op with And | Nand -> False | Or | Nor -> True
+
+let gc_sweep t =
+  let reclaimed = ref 0 in
+  (* Phase 0: unlink dangling child edges left by deletions in earlier
+     sweeps ("a periodic sweep algorithm unlinks these references", §4.8) —
+     a record whose only children are dead becomes uninteresting below. *)
+  for i = 0 to t.high_water - 1 do
+    let slot = t.slots.(i) in
+    if slot.used && slot.children <> [] then
+      slot.children <- List.filter (fun (child_ref, _) -> get t child_ref <> None) slot.children
+  done;
+  (* Phase 1: unlink edges whose parent is permanent, baking the frozen
+     contribution into the child. *)
+  for i = 0 to t.high_water - 1 do
+    let parent = t.slots.(i) in
+    if parent.used && parent.permanent && parent.children <> [] then begin
+      let parent_ref = { index = i; magic = parent.magic } in
+      List.iter
+        (fun (child_ref, negated) ->
+          match get t child_ref with
+          | None -> ()
+          | Some child ->
+              let contribution = seen_through negated parent.st in
+              child.n_parents <- child.n_parents - 1;
+              (match contribution with
+              | True -> child.p_true <- child.p_true - 1
+              | False -> child.p_false <- child.p_false - 1
+              | Unknown -> child.p_unknown <- child.p_unknown - 1);
+              if contribution = forcing_input child.op then begin
+                (* The frozen input pins the child's output forever. *)
+                let forced =
+                  match child.op with And | Or -> contribution | Nand | Nor ->
+                    seen_through true contribution
+                in
+                if not child.permanent then begin
+                  let old_state = child.st in
+                  child.st <- forced;
+                  child.permanent <- true;
+                  propagate t child_ref child ~old_state
+                end
+              end
+              else recompute t child_ref child)
+        parent.children;
+      parent.children <- [];
+      ignore parent_ref
+    end
+  done;
+  (* Phase 2: delete records that can never again change an observable
+     answer: a dangling reference reads permanently-False, so a record may
+     go only when every future read would already be False (revoked) or when
+     nobody can read it (uninteresting: no certificate embeds it, no
+     children, no notify hooks). *)
+  for i = 0 to t.high_water - 1 do
+    let slot = t.slots.(i) in
+    if slot.used && slot.children = [] && slot.hooks = [] then begin
+      let uninteresting = not slot.direct_use in
+      let dead_permanent = slot.permanent && (slot.st = False || not slot.direct_use) in
+      if uninteresting || dead_permanent then begin
+        slot.used <- false;
+        slot.hooks <- [];
+        slot.children <- [];
+        t.free <- i :: t.free;
+        incr reclaimed
+      end
+    end
+  done;
+  !reclaimed
+
+let live_records t =
+  let n = ref 0 in
+  for i = 0 to t.high_water - 1 do
+    if t.slots.(i).used then incr n
+  done;
+  !n
+
+let marshal_ref r = Printf.sprintf "%x.%x" r.index r.magic
+
+let unmarshal_ref s =
+  match String.index_opt s '.' with
+  | None -> None
+  | Some dot -> (
+      let a = String.sub s 0 dot and b = String.sub s (dot + 1) (String.length s - dot - 1) in
+      match (int_of_string_opt ("0x" ^ a), int_of_string_opt ("0x" ^ b)) with
+      | Some index, Some magic -> Some { index; magic }
+      | _ -> None)
+
+let pp_state ppf s =
+  Format.pp_print_string ppf (match s with True -> "True" | False -> "False" | Unknown -> "Unknown")

@@ -1,0 +1,90 @@
+(** Credential records (§4.6–4.8, fig 4.7).
+
+    A credential record is a small record representing a server's current
+    belief about some fact.  Records form a DAG: a child's value is a boolean
+    function (And/Or/Nand/Nor, with optional negation on each parent edge) of
+    its parents' values.  Rather than back-pointers, each record keeps
+    {e counters} of how many parents are currently true, false and unknown —
+    all that is needed to compute its own state.  State changes propagate to
+    children recursively; {e notify} callbacks fire so that other servers
+    (via event notification) and certificate caches can react.
+
+    References are [(table index, magic)] pairs; a slot's magic is bumped on
+    reuse, so references are never resurrected: a dangling reference reads as
+    permanently [False] — exactly the paper's licence to delete records
+    whose value is false forever. *)
+
+type table
+
+type cref = { index : int; magic : int }
+
+type state = True | False | Unknown
+
+type op = And | Or | Nand | Nor
+
+val create_table : unit -> table
+
+(** {1 Construction} *)
+
+val leaf : table -> ?state:state -> unit -> cref
+(** A record representing a directly-asserted fact (default [True]). *)
+
+val combine : table -> ?op:op -> (cref * bool) list -> cref
+(** [combine t ~op parents] creates a record computing [op] over the parents;
+    the [bool] marks a negated edge ([true] = child sees the parent
+    inverted).  Default op is [And].  With a single non-negated [And] parent
+    the parent itself is returned (the paper's small optimisation, §4.7). *)
+
+val combine_fresh : table -> ?op:op -> (cref * bool) list -> cref
+(** Like {!combine} but always allocates a new record, even for a single
+    parent — needed when the child must be independently revocable (e.g. a
+    delegation record tied to the delegator's membership, §4.4). *)
+
+val add_parent : table -> child:cref -> ?negated:bool -> cref -> unit
+(** Attach an additional parent to an existing (non-leaf) record. *)
+
+(** {1 Reading} *)
+
+val state : table -> cref -> state
+(** Current belief; a deleted or never-valid reference reads [False]. *)
+
+val is_permanent : table -> cref -> bool
+val live : table -> cref -> bool
+(** Does the reference designate a live slot? *)
+
+(** {1 Mutation} *)
+
+val set_leaf : table -> cref -> state -> unit
+(** Assert a leaf's value (propagates).  No-op on permanent records. *)
+
+val invalidate : table -> cref -> unit
+(** Revocation: force [False], permanently (propagates). *)
+
+val make_permanent : table -> cref -> unit
+(** Freeze the record at its current state. *)
+
+(** {1 Flags and hooks} *)
+
+val set_direct_use : table -> cref -> bool -> unit
+(** The record backs an issued certificate; protects it from GC. *)
+
+val set_auto_revoke : table -> cref -> bool -> unit
+
+val on_change : table -> cref -> (state -> unit) -> unit
+(** Notify hook (sets the paper's [Notify] flag); fires after every state
+    change of this record. *)
+
+val clear_hooks : table -> cref -> unit
+
+(** {1 Garbage collection (§4.8)} *)
+
+val gc_sweep : table -> int
+(** Unlink edges from permanent parents (baking their frozen contribution
+    into each child, possibly making the child permanent too), then delete
+    permanent and uninteresting records.  Returns the number of slots
+    reclaimed. *)
+
+val live_records : table -> int
+val marshal_ref : cref -> string
+val unmarshal_ref : string -> cref option
+val pp_state : Format.formatter -> state -> unit

@@ -1,0 +1,1111 @@
+module Value = Oasis_rdl.Value
+module Ast = Oasis_rdl.Ast
+module Eval = Oasis_rdl.Eval
+module Parser = Oasis_rdl.Parser
+module Infer = Oasis_rdl.Infer
+module Bitset = Oasis_util.Bitset
+module Signing = Oasis_util.Signing
+module Prng = Oasis_util.Prng
+module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
+module Clock = Oasis_sim.Clock
+module Broker = Oasis_events.Broker
+module Event = Oasis_events.Event
+
+type value = Value.t
+
+type failure =
+  | Wrong_client
+  | Forged
+  | Wrong_context
+  | Insufficient
+  | Revoked
+  | Unknown_state
+
+let pp_failure ppf f =
+  Format.pp_print_string ppf
+    (match f with
+    | Wrong_client -> "wrong-client"
+    | Forged -> "forged"
+    | Wrong_context -> "wrong-context"
+    | Insufficient -> "insufficient-rights"
+    | Revoked -> "revoked"
+    | Unknown_state -> "unknown-state")
+
+type audit_kind = Fraud | Erroneous | Revocation_denied | Entry | Delegation | Revocation | Exit
+
+type audit_entry = { at : float; kind : audit_kind; detail : string }
+
+(* A peer link: the local face of another service (fig 4.8): one broker
+   session plus the external records mirroring that peer's credential
+   records. *)
+type peer_link = {
+  pl_peer : string;
+  mutable pl_session : Broker.session option;
+  mutable pl_connecting : bool;
+  mutable pl_queued : (Broker.session -> unit) list;
+  pl_externals : (string, Credrec.cref) Hashtbl.t;  (* remote ref -> local surrogate *)
+}
+
+type t = {
+  sv_net : Net.t;
+  sv_host : Net.host;
+  sv_registry : registry;
+  sv_name : string;
+  sv_rolefile_id : string;
+  sv_rolefile : Ast.rolefile;
+  sv_sigs : Infer.result;
+  sv_role_bits : (string * int) list;
+  sv_secrets : Signing.Rolling.t;
+  sv_sig_length : int;
+  sv_cache : bool;
+  sv_compound : bool;
+  sv_fixpoint : bool;
+  sv_table : Credrec.table;
+  sv_groups : (string, Group.t) Hashtbl.t;
+  sv_funcs : (string * (value list -> (value, string) result)) list;
+  sv_broker : Broker.server;
+  sv_peers : (string, peer_link) Hashtbl.t;
+  sv_notifying : (string, unit) Hashtbl.t;  (* local refs armed for Modified events *)
+  (* role-based revocation state (§4.11) *)
+  sv_rbr : (string * string, (Ast.role_ref * Credrec.cref) list ref) Hashtbl.t;
+      (* (role, marshalled args) -> revoker role + record, per live membership *)
+  sv_blacklist : (string * string, unit) Hashtbl.t;
+  mutable sv_audit : audit_entry list;
+  sv_sig_cache : (string, unit) Hashtbl.t;
+  mutable sv_crypto_checks : int;
+  mutable sv_cache_hits : int;
+}
+
+and registry = (string, t) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 16
+let find_service reg n : t option = Hashtbl.find_opt reg n
+
+let name t = t.sv_name
+let host t = t.sv_host
+let table t = t.sv_table
+let broker t = t.sv_broker
+let rolefile t = t.sv_rolefile
+let registry t = t.sv_registry
+let role_bits t = t.sv_role_bits
+let crypto_checks t = t.sv_crypto_checks
+let cache_hits t = t.sv_cache_hits
+let audit_log t = t.sv_audit
+let gc t = Credrec.gc_sweep t.sv_table
+
+let now t = Clock.read (Net.host_clock t.sv_host)
+
+let audit t kind detail = t.sv_audit <- { at = now t; kind; detail } :: t.sv_audit
+
+let roll_secret t =
+  Signing.Rolling.roll t.sv_secrets;
+  Hashtbl.reset t.sv_sig_cache
+
+let group t gname =
+  match Hashtbl.find_opt t.sv_groups gname with
+  | Some g -> g
+  | None ->
+      let g = Group.create t.sv_table gname in
+      Hashtbl.replace t.sv_groups gname g;
+      g
+
+(* --- creation --- *)
+
+let assign_role_bits rolefile =
+  let from_entries = Ast.defined_roles rolefile in
+  let from_defs = List.map (fun d -> d.Ast.decl_name) (Ast.defs rolefile) in
+  let all = List.sort_uniq String.compare (from_entries @ from_defs) in
+  (* Deterministic mapping fixed at initialisation (§4.3). *)
+  if List.length all > 62 then Error "too many roles for the role bit-set (max 62)"
+  else Ok (List.mapi (fun i r -> (r, i)) all)
+
+let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs = [])
+    ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
+    ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0) () =
+  match Parser.parse_result ?resolve_literal rolefile with
+  | Error e -> Error e
+  | Ok parsed -> (
+      let callbacks =
+        {
+          Infer.no_callbacks with
+          Infer.external_sig =
+            (fun ~service ~role ->
+              match find_service reg service with
+              | None -> None
+              | Some peer ->
+                  Option.map (fun tys -> tys) (Infer.signature peer.sv_sigs role));
+        }
+      in
+      match Infer.infer ~callbacks parsed with
+      | Error e -> Error ("type error: " ^ e)
+      | Ok sigs -> (
+          match assign_role_bits parsed with
+          | Error e -> Error e
+          | Ok bits ->
+              let prng = Prng.create (Int64.of_int (Hashtbl.hash sv_name + 7)) in
+              let t =
+                {
+                  sv_net = net;
+                  sv_host = host;
+                  sv_registry = reg;
+                  sv_name;
+                  sv_rolefile_id = rolefile_id;
+                  sv_rolefile = parsed;
+                  sv_sigs = sigs;
+                  sv_role_bits = bits;
+                  sv_secrets = Signing.Rolling.create prng;
+                  sv_sig_length = sig_length;
+                  sv_cache = cache_validation;
+                  sv_compound = compound_certificates;
+                  sv_fixpoint = fixpoint_entry;
+                  sv_table = Credrec.create_table ();
+                  sv_groups = Hashtbl.create 8;
+                  sv_funcs = funcs;
+                  sv_broker = Broker.create_server net host ~name:sv_name ~heartbeat ();
+                  sv_peers = Hashtbl.create 8;
+                  sv_notifying = Hashtbl.create 64;
+                  sv_rbr = Hashtbl.create 16;
+                  sv_blacklist = Hashtbl.create 16;
+                  sv_audit = [];
+                  sv_sig_cache = Hashtbl.create 256;
+                  sv_crypto_checks = 0;
+                  sv_cache_hits = 0;
+                }
+              in
+              Hashtbl.replace reg sv_name t;
+              Ok t))
+
+(* --- Modified event notification for records other services depend on --- *)
+
+let arm_notification t cref =
+  let key = Credrec.marshal_ref cref in
+  if not (Hashtbl.mem t.sv_notifying key) then begin
+    Hashtbl.replace t.sv_notifying key ();
+    Credrec.on_change t.sv_table cref (fun st ->
+        let state_str =
+          match st with Credrec.True -> "true" | Credrec.False -> "false" | Credrec.Unknown -> "unknown"
+        in
+        ignore (Broker.signal t.sv_broker "Modified" [ Value.Str key; Value.Str state_str ]))
+  end
+
+(* --- signature verification with caching (§4.2) --- *)
+
+let verify_rmc_sig t cert =
+  let key = cert.Cert.rmc_sig ^ "|" ^ Cert.rmc_payload cert in
+  if t.sv_cache && Hashtbl.mem t.sv_sig_cache key then begin
+    t.sv_cache_hits <- t.sv_cache_hits + 1;
+    true
+  end
+  else begin
+    t.sv_crypto_checks <- t.sv_crypto_checks + 1;
+    let ok = Cert.verify_rmc t.sv_secrets cert in
+    if ok && t.sv_cache then Hashtbl.replace t.sv_sig_cache key ();
+    ok
+  end
+
+let roles_of_cert t cert =
+  List.filter_map
+    (fun (role, bit) -> if Bitset.mem bit cert.Cert.roles then Some role else None)
+    t.sv_role_bits
+
+let check_crr t cert =
+  match Credrec.state t.sv_table cert.Cert.crr with
+  | Credrec.True -> Ok ()
+  | Credrec.False -> Error Revoked
+  | Credrec.Unknown -> Error Unknown_state
+
+let validate t ~client ?need_role cert =
+  if not (String.equal cert.Cert.service t.sv_name && String.equal cert.Cert.rolefile t.sv_rolefile_id)
+  then begin
+    audit t Erroneous ("certificate for " ^ cert.Cert.service ^ " presented out of context");
+    Error Wrong_context
+  end
+  else if not (Principal.equal_vci cert.Cert.holder client) then begin
+    audit t Fraud ("certificate of " ^ Principal.vci_to_string cert.Cert.holder ^ " presented by "
+                   ^ Principal.vci_to_string client);
+    Error Wrong_client
+  end
+  else if not (verify_rmc_sig t cert) then begin
+    audit t Fraud "forged or tampered certificate";
+    Error Forged
+  end
+  else
+    match need_role with
+    | Some role when not (Cert.has_role ~role_bits:t.sv_role_bits cert role) ->
+        audit t Erroneous ("certificate lacks role " ^ role);
+        Error Insufficient
+    | _ -> check_crr t cert
+
+let validate_for_peer t cert =
+  if not (String.equal cert.Cert.service t.sv_name) then Error Wrong_context
+  else if not (verify_rmc_sig t cert) then Error Forged
+  else
+    match check_crr t cert with
+    | Error e -> Error e
+    | Ok () ->
+        arm_notification t cert.Cert.crr;
+        Ok (roles_of_cert t cert, cert.Cert.args, cert.Cert.crr)
+
+(* --- external records (§4.9, fig 4.8) --- *)
+
+let peer_link t peer_name =
+  match Hashtbl.find_opt t.sv_peers peer_name with
+  | Some pl -> pl
+  | None ->
+      let pl =
+        {
+          pl_peer = peer_name;
+          pl_session = None;
+          pl_connecting = false;
+          pl_queued = [];
+          pl_externals = Hashtbl.create 16;
+        }
+      in
+      Hashtbl.replace t.sv_peers peer_name pl;
+      pl
+
+let with_peer_session t pl k =
+  match pl.pl_session with
+  | Some s -> k s
+  | None ->
+      pl.pl_queued <- k :: pl.pl_queued;
+      if not pl.pl_connecting then begin
+        pl.pl_connecting <- true;
+        match find_service t.sv_registry pl.pl_peer with
+        | None -> () (* unknown peer: queued actions never run; externals stay Unknown *)
+        | Some peer ->
+            Broker.connect t.sv_net t.sv_host (broker peer)
+              ~credentials:[ "service:" ^ t.sv_name ]
+              ~on_result:(fun result ->
+                pl.pl_connecting <- false;
+                match result with
+                | Error _ -> ()
+                | Ok session ->
+                    pl.pl_session <- Some session;
+                    (* §4.10: missed heartbeats mark every external record
+                       from this peer Unknown; recovery re-reads states. *)
+                    Broker.on_staleness session (fun is_stale ->
+                        Hashtbl.iter
+                          (fun remote_key local_ref ->
+                            if is_stale then
+                              Credrec.set_leaf t.sv_table local_ref Credrec.Unknown
+                            else
+                              (* Re-read the remote state. *)
+                              match find_service t.sv_registry pl.pl_peer with
+                              | None -> ()
+                              | Some peer ->
+                                  Net.rpc t.sv_net ~category:"oasis.reread" ~src:t.sv_host
+                                    ~dst:peer.sv_host
+                                    (fun () ->
+                                      match Credrec.unmarshal_ref remote_key with
+                                      | None -> Error "bad ref"
+                                      | Some r -> Ok (Credrec.state peer.sv_table r))
+                                    (function
+                                      | Ok st -> Credrec.set_leaf t.sv_table local_ref st
+                                      | Error _ -> ()))
+                          pl.pl_externals);
+                    let queued = List.rev pl.pl_queued in
+                    pl.pl_queued <- [];
+                    List.iter (fun k -> k session) queued)
+              ()
+      end
+
+(* Create (or reuse) the local surrogate for a remote credential record and
+   arm event notification for its changes. *)
+let external_record t ~peer_name ~remote_ref ~initial =
+  let pl = peer_link t peer_name in
+  let key = Credrec.marshal_ref remote_ref in
+  match Hashtbl.find_opt pl.pl_externals key with
+  | Some local when Credrec.live t.sv_table local ->
+      Credrec.set_leaf t.sv_table local initial;
+      local
+  | _ ->
+      let local = Credrec.leaf t.sv_table ~state:initial () in
+      Hashtbl.replace pl.pl_externals key local;
+      with_peer_session t pl (fun session ->
+          let tpl = Event.template "Modified" [ Event.Lit (Value.Str key); Event.Any ] in
+          ignore
+            (Broker.register session tpl (fun e ->
+                 match e.Event.params with
+                 | [| _; Value.Str state |] ->
+                     let st =
+                       match state with
+                       | "true" -> Credrec.True
+                       | "false" -> Credrec.False
+                       | _ -> Credrec.Unknown
+                     in
+                     Credrec.set_leaf t.sv_table local st
+                 | _ -> ())));
+      local
+
+(* --- constraint-evaluation context --- *)
+
+let builtin_funcs t =
+  [
+    ( "unixacl",
+      fun args ->
+        match args with
+        | [ Value.Str acl; Value.Str user ] ->
+            let in_group g = Group.mem (group t g) (Value.Str user) in
+            Ok (Value.set_of_chars (Acl.unixacl acl ~user ~in_group))
+        | _ -> Error "unixacl(acl, user) expects two strings" );
+    ( "acl",
+      fun args ->
+        match args with
+        | [ Value.Str acl_text; Value.Str full; Value.Str user ] -> (
+            match Acl.parse acl_text with
+            | Error e -> Error e
+            | Ok acl ->
+                let in_group g = Group.mem (group t g) (Value.Str user) in
+                Ok (Value.set_of_chars (Acl.rights acl ~user ~in_group ~full)) )
+        | _ -> Error "acl(list, full, user) expects three strings" );
+  ]
+
+let eval_ctx t =
+  {
+    Eval.lookup_group = (fun gname v -> Group.mem (group t gname) v);
+    call =
+      (fun fname args ->
+        match List.assoc_opt fname (t.sv_funcs @ builtin_funcs t) with
+        | Some f -> f args
+        | None -> Error ("unknown extension function " ^ fname));
+  }
+
+(* --- residual membership-rule compilation (§4.7) --- *)
+
+type compiled = Const of bool | Ref of Credrec.cref * bool  (* negated *)
+
+let rec compile_residual t env constr =
+  let ctx = eval_ctx t in
+  match constr with
+  | Ast.Cin (e, gname) -> (
+      match Eval.eval_expr ctx env e with
+      | Error _ -> Const false
+      | Ok v -> Ref (Group.credential (group t gname) v, false))
+  | Ast.Cstar c -> compile_residual t env c
+  | Ast.Cnot c -> (
+      match compile_residual t env c with
+      | Const b -> Const (not b)
+      | Ref (r, neg) -> Ref (r, not neg))
+  | Ast.Cand (a, b) -> combine_residual t env Credrec.And false [ a; b ]
+  | Ast.Cor (a, b) -> combine_residual t env Credrec.Or true [ a; b ]
+  | Ast.Crel _ | Ast.Csubset _ | Ast.Ccall _ | Ast.Cbind _ -> (
+      (* Constant under the captured bindings: evaluate once (§3.2.3's
+         "substituting in the value of all the other subexpressions"). *)
+      match Eval.eval ctx env constr with
+      | Ok (truth, _, _) -> Const truth
+      | Error _ -> Const false)
+
+and combine_residual t env op unit_is_true parts =
+  (* [unit_is_true]: the absorbing constant for Or is true, for And false. *)
+  let compiled = List.map (compile_residual t env) parts in
+  let absorbing = unit_is_true in
+  if List.exists (function Const b -> b = absorbing | Ref _ -> false) compiled then
+    Const absorbing
+  else
+    let refs = List.filter_map (function Ref (r, n) -> Some (r, n) | Const _ -> None) compiled in
+    match refs with
+    | [] -> Const (not absorbing)
+    | [ (r, n) ] -> Ref (r, n)
+    | refs -> Ref (Credrec.combine t.sv_table ~op refs, false)
+
+(* --- memberships and the entry engine (fig 3.2) --- *)
+
+type membership = {
+  m_service : string;
+  m_roles : string list;
+  m_args : value list;
+  m_crr : Credrec.cref;
+  m_fresh : bool;  (* produced during this request (eligible for compounding) *)
+}
+
+let match_args env ref_args actual =
+  if List.length ref_args <> List.length actual then None
+  else
+    let rec go env = function
+      | [] -> Some env
+      | (Ast.Alit v, actual) :: rest -> if Value.equal v actual then go env rest else None
+      | (Ast.Avar x, actual) :: rest -> (
+          match List.assoc_opt x env with
+          | Some bound -> if Value.equal bound actual then go env rest else None
+          | None -> go ((x, actual) :: env) rest)
+    in
+    go env (List.combine ref_args actual)
+
+let find_credential t env (role_ref : Ast.role_ref) memberships =
+  let service_matches m =
+    match role_ref.Ast.sref.Ast.service with
+    | None -> String.equal m.m_service t.sv_name
+    | Some svc -> String.equal m.m_service svc
+  in
+  let rec go = function
+    | [] -> None
+    | m :: rest -> (
+        if service_matches m && List.mem role_ref.Ast.role m.m_roles then
+          match match_args env role_ref.Ast.ref_args m.m_args with
+          | Some env' -> Some (env', m)
+          | None -> go rest
+        else go rest)
+  in
+  go memberships
+
+let head_args_values env args =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Ast.Alit v :: rest -> go (v :: acc) rest
+    | Ast.Avar x :: rest -> (
+        match List.assoc_opt x env with Some v -> go (v :: acc) rest | None -> None)
+  in
+  go [] args
+
+let blacklist_key role args = (role, String.concat "\x01" (List.map Value.marshal args))
+
+(* Enumerate the ways a statement's credential references can be matched
+   against the membership list.  Single-pass (fig 3.2) semantics use only
+   the first assignment; the fixpoint ablation (and the Unix legacy
+   adapter, which chains UseDir rules along a path) needs them all,
+   Datalog-style. *)
+let enumerate_matches t memberships creds =
+  let rec go env used = function
+    | [] -> [ (env, List.rev used) ]
+    | (role_ref : Ast.role_ref) :: rest ->
+        let service_matches m =
+          match role_ref.Ast.sref.Ast.service with
+          | None -> String.equal m.m_service t.sv_name
+          | Some svc -> String.equal m.m_service svc
+        in
+        List.concat_map
+          (fun m ->
+            if service_matches m && List.mem role_ref.Ast.role m.m_roles then
+              match match_args env role_ref.Ast.ref_args m.m_args with
+              | Some env' -> go env' ((role_ref, m) :: used) rest
+              | None -> []
+            else [])
+          memberships
+  in
+  go [] [] creds
+
+(* Complete one credential assignment into a membership: elector-argument
+   unification, constraint evaluation, head-argument synthesis, blacklist
+   check, and credential-record assembly (fig 4.6). *)
+let complete_match t (entry : Ast.entry) dcerts (env, used) =
+  let head_name, head_args = entry.Ast.head in
+  let env =
+    List.fold_left
+      (fun acc d ->
+        match (acc, entry.Ast.elector) with
+        | None, _ | _, None -> acc
+        | Some env, Some er ->
+            if not (String.equal er.Ast.role d.Cert.d_delegator_role) then None
+            else if er.Ast.ref_args = [] then Some env
+            else match_args env er.Ast.ref_args d.Cert.d_delegator_args)
+      (Some env) dcerts
+  in
+  match env with
+  | None -> None
+  | Some env -> (
+      let constraint_result =
+        match entry.Ast.constr with
+        | None -> Some (env, [])
+        | Some c -> (
+            match Eval.eval (eval_ctx t) env c with
+            | Ok (true, env', mrules) -> Some (env', mrules)
+            | Ok (false, _, _) | Error _ -> None)
+      in
+      match constraint_result with
+      | None -> None
+      | Some (env, mrules) -> (
+          match head_args_values env head_args with
+          | None -> None
+          | Some args ->
+              if
+                entry.Ast.revoker <> None
+                && Hashtbl.mem t.sv_blacklist (blacklist_key head_name args)
+              then None (* negated Revoked(instance) fails (§3.3.2) *)
+              else begin
+                (* Assemble membership-rule parents (fig 4.6). *)
+                let parents = ref [] in
+                List.iter
+                  (fun ((role_ref : Ast.role_ref), m) ->
+                    if role_ref.Ast.starred then parents := (m.m_crr, false) :: !parents)
+                  used;
+                List.iter
+                  (fun d ->
+                    if entry.Ast.elect_starred then parents := (d.Cert.d_crr, false) :: !parents;
+                    match entry.Ast.elector with
+                    | Some er when er.Ast.starred ->
+                        parents := (d.Cert.d_delegator_crr, false) :: !parents
+                    | _ -> ())
+                  dcerts;
+                List.iter
+                  (fun (mr : Eval.mrule) ->
+                    match compile_residual t mr.Eval.bindings mr.Eval.residual with
+                    | Const true -> ()
+                    | Const false ->
+                        (* A membership rule already false: represent it
+                           with a permanently-false parent. *)
+                        parents :=
+                          (Credrec.leaf t.sv_table ~state:Credrec.False (), false) :: !parents
+                    | Ref (r, neg) -> parents := (r, neg) :: !parents)
+                  mrules;
+                (* Role-based revocation arms its own record (fig 4.9). *)
+                (match entry.Ast.revoker with
+                | None -> ()
+                | Some revoker ->
+                    let rbr = Credrec.leaf t.sv_table ~state:Credrec.True () in
+                    Credrec.set_direct_use t.sv_table rbr true;
+                    parents := (rbr, false) :: !parents;
+                    let key = blacklist_key head_name args in
+                    let cell =
+                      match Hashtbl.find_opt t.sv_rbr key with
+                      | Some c -> c
+                      | None ->
+                          let c = ref [] in
+                          Hashtbl.replace t.sv_rbr key c;
+                          c
+                    in
+                    cell := (revoker, rbr) :: !cell);
+                let crr =
+                  match !parents with
+                  | [] -> Credrec.combine t.sv_table []
+                  | parents -> Credrec.combine t.sv_table parents
+                in
+                Some
+                  {
+                    m_service = t.sv_name;
+                    m_roles = [ head_name ];
+                    m_args = args;
+                    m_crr = crr;
+                    m_fresh = true;
+                  }
+              end))
+
+(* Try to apply one entry statement given current memberships.  In
+   single-pass mode the first suitable credential assignment yields at most
+   one membership (fig 3.2); with [all_matches] every distinct assignment
+   is completed. *)
+let apply_statement t ~delegation ~deleg_required_ok ~all_matches (entry : Ast.entry) memberships
+    =
+  let head_name, _ = entry.Ast.head in
+  (* Election statements only fire when a matching delegation certificate
+     accompanies the request (§4.4: separate entry paths). *)
+  let delegation_ok =
+    match entry.Ast.elector with
+    | None -> Some []
+    | Some _ -> (
+        match delegation with
+        | Some d
+          when String.equal d.Cert.d_role head_name
+               && String.equal d.Cert.d_service t.sv_name
+               && deleg_required_ok ->
+            if Credrec.state t.sv_table d.Cert.d_crr = Credrec.True then Some [ d ] else None
+        | _ -> None)
+  in
+  match delegation_ok with
+  | None -> []
+  | Some dcerts ->
+      let assignments = enumerate_matches t memberships entry.Ast.creds in
+      if all_matches then List.filter_map (complete_match t entry dcerts) assignments
+      else
+        (* First suitable assignment only (fig 3.2). *)
+        let rec first = function
+          | [] -> []
+          | a :: rest -> (
+              match complete_match t entry dcerts a with
+              | Some m -> [ m ]
+              | None -> first rest)
+        in
+        first assignments
+
+let run_entry_engine t ~delegation ~deleg_required_ok ~initial =
+  let memberships = ref initial in
+  let have m =
+    List.exists
+      (fun m' ->
+        String.equal m'.m_service m.m_service
+        && m'.m_roles = m.m_roles
+        && List.length m'.m_args = List.length m.m_args
+        && List.for_all2 Value.equal m'.m_args m.m_args)
+      !memberships
+  in
+  let pass ~all_matches =
+    let produced = ref false in
+    List.iter
+      (fun entry ->
+        List.iter
+          (fun m ->
+            (* In single-pass mode duplicates cannot arise (each statement
+               fires once); in fixpoint mode they must not count as
+               progress or the loop never converges. *)
+            if not (all_matches && have m) then begin
+              memberships := !memberships @ [ m ];
+              produced := true
+            end)
+          (apply_statement t ~delegation ~deleg_required_ok ~all_matches entry !memberships))
+      (Ast.entries t.sv_rolefile);
+    !produced
+  in
+  if t.sv_fixpoint then begin
+    (* Fixpoint mode: iterate with full credential enumeration until no new
+       membership appears (bounded).  Needed for recursive rule sets such
+       as the Unix directory rules of section 3.3.3. *)
+    let rec loop n = if n > 0 && pass ~all_matches:true then loop (n - 1) in
+    loop 16
+  end
+  else ignore (pass ~all_matches:false);
+  !memberships
+
+(* --- certificate issue --- *)
+
+let issue_cert t ~client ~roles ~args ~crr =
+  Credrec.set_direct_use t.sv_table crr true;
+  let bits =
+    List.fold_left
+      (fun acc role ->
+        match List.assoc_opt role t.sv_role_bits with
+        | Some bit -> Bitset.add bit acc
+        | None -> acc)
+      Bitset.empty roles
+  in
+  let cert =
+    {
+      Cert.holder = client;
+      service = t.sv_name;
+      rolefile = t.sv_rolefile_id;
+      roles = bits;
+      args;
+      crr;
+      issued_at = now t;
+      rmc_sig = "";
+    }
+  in
+  Cert.sign_rmc t.sv_secrets ~length:t.sv_sig_length cert
+
+(* Sequentially run an async action over a list. *)
+let rec seq_map f list k =
+  match list with
+  | [] -> k []
+  | x :: rest -> f x (fun y -> seq_map f rest (fun ys -> k (y :: ys)))
+
+(* Validate one supplied credential, local or external, producing a
+   membership (or None, with audit). *)
+let validate_credential t (cert : Cert.rmc) k =
+  if String.equal cert.Cert.service t.sv_name then
+    (* Local certificate: direct validation. *)
+    if not (verify_rmc_sig t cert) then begin
+      audit t Fraud "forged local credential in entry request";
+      k None
+    end
+    else (
+      match check_crr t cert with
+      | Error _ -> k None
+      | Ok () ->
+          k
+            (Some
+               {
+                 m_service = t.sv_name;
+                 m_roles = roles_of_cert t cert;
+                 m_args = cert.Cert.args;
+                 m_crr = cert.Cert.crr;
+                 m_fresh = false;
+               }))
+  else
+    (* External certificate: RPC to the issuing service (§2.10), then mirror
+       its credential record locally. *)
+    match find_service t.sv_registry cert.Cert.service with
+    | None ->
+        audit t Erroneous ("credential from unknown service " ^ cert.Cert.service);
+        k None
+    | Some issuer ->
+        Net.rpc t.sv_net ~category:"oasis.validate" ~src:t.sv_host ~dst:issuer.sv_host
+          (fun () ->
+            match validate_for_peer issuer cert with
+            | Ok r -> Ok r
+            | Error f -> Error (Format.asprintf "%a" pp_failure f))
+          (function
+            | Error _ -> k None
+            | Ok (roles, args, remote_ref) ->
+                let local =
+                  external_record t ~peer_name:cert.Cert.service ~remote_ref
+                    ~initial:Credrec.True
+                in
+                k
+                  (Some
+                     {
+                       m_service = cert.Cert.service;
+                       m_roles = roles;
+                       m_args = args;
+                       m_crr = local;
+                       m_fresh = false;
+                     }))
+
+let delegation_required_ok t (d : Cert.delegation) memberships =
+  (* Every required (service, role, args) must be covered by a validated
+     membership; Str "*" arguments are wildcards. *)
+  List.for_all
+    (fun (svc, role, req_args) ->
+      List.exists
+        (fun m ->
+          String.equal m.m_service svc && List.mem role m.m_roles
+          && List.length req_args = List.length m.m_args
+          && List.for_all2
+               (fun req actual ->
+                 match req with Value.Str "*" -> true | v -> Value.equal v actual)
+               req_args m.m_args)
+        memberships)
+    d.Cert.d_required
+
+let request_entry t ~client_host ~client ~role ?args ?(creds = []) ?delegation k =
+  (* Client -> service request, then async validation of each credential. *)
+  Net.send t.sv_net ~category:"oasis.entry" ~size:(128 + (96 * List.length creds))
+    ~src:client_host ~dst:t.sv_host (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.entry.reply" ~size:160 ~src:t.sv_host ~dst:client_host
+          (fun () -> k result)
+      in
+      seq_map (validate_credential t) creds (fun validated ->
+          let initial = List.filter_map Fun.id validated in
+          (* Delegation certificate checks (§4.4). *)
+          let delegation_checked =
+            match delegation with
+            | None -> Ok None
+            | Some d ->
+                if not (String.equal d.Cert.d_service t.sv_name) then Error "delegation for another service"
+                else if not (Cert.verify_delegation t.sv_secrets d) then Error "bad delegation signature"
+                else (
+                  match d.Cert.d_expires with
+                  | Some e when now t > e -> Error "delegation expired"
+                  | _ -> Ok (Some d))
+          in
+          match delegation_checked with
+          | Error e -> reply (Error e)
+          | Ok delegation -> (
+              let deleg_required_ok =
+                match delegation with
+                | None -> true
+                | Some d -> delegation_required_ok t d initial
+              in
+              let memberships =
+                run_entry_engine t ~delegation ~deleg_required_ok ~initial
+              in
+              (* First suitable membership (fig 3.2). *)
+              let suitable m =
+                String.equal m.m_service t.sv_name
+                && List.mem role m.m_roles
+                &&
+                match args with
+                | None -> true
+                | Some want ->
+                    List.length want = List.length m.m_args
+                    && List.for_all2 Value.equal want m.m_args
+              in
+              match List.find_opt suitable memberships with
+              | None ->
+                  audit t Erroneous
+                    (Printf.sprintf "entry to %s denied for %s" role
+                       (Principal.vci_to_string client));
+                  reply (Error ("entry to role " ^ role ^ " denied"))
+              | Some chosen ->
+                  (* Compound certificate: fold in other fresh local roles
+                     with identical arguments (§4.3). *)
+                  let companions =
+                    if t.sv_compound then
+                      List.filter
+                        (fun m ->
+                          m.m_fresh && m != chosen
+                          && String.equal m.m_service t.sv_name
+                          && List.length m.m_args = List.length chosen.m_args
+                          && List.for_all2 Value.equal m.m_args chosen.m_args)
+                        memberships
+                    else []
+                  in
+                  let roles = List.concat_map (fun m -> m.m_roles) (chosen :: companions) in
+                  let crr =
+                    match companions with
+                    | [] -> chosen.m_crr
+                    | _ ->
+                        Credrec.combine t.sv_table
+                          (List.map (fun m -> (m.m_crr, false)) (chosen :: companions))
+                  in
+                  let cert = issue_cert t ~client ~roles ~args:chosen.m_args ~crr in
+                  audit t Entry
+                    (Printf.sprintf "%s entered %s" (Principal.vci_to_string client)
+                       (String.concat "+" roles));
+                  reply (Ok cert))))
+
+(* --- delegation (§4.4) --- *)
+
+let election_statements t role =
+  List.filter
+    (fun (e : Ast.entry) -> fst e.Ast.head = role && e.Ast.elector <> None)
+    (Ast.entries t.sv_rolefile)
+
+let request_delegation t ~client_host ~delegator ~using ~role ~required ?expires_in
+    ?(revoke_on_exit = false) k =
+  Net.send t.sv_net ~category:"oasis.delegate" ~size:160 ~src:client_host ~dst:t.sv_host
+    (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.delegate.reply" ~size:200 ~src:t.sv_host
+          ~dst:client_host (fun () -> k result)
+      in
+      (* The delegator must hold an elector role for some election statement
+         defining [role]. *)
+      match validate t ~client:delegator using with
+      | Error f -> reply (Error (Format.asprintf "delegator credential: %a" pp_failure f))
+      | Ok () -> (
+          let holder_roles = roles_of_cert t using in
+          let statement_ok (e : Ast.entry) =
+            match e.Ast.elector with
+            | Some er -> (
+                (* The elector reference must be a local role the delegator
+                   holds; argument constraints are checked against the
+                   delegator's certificate arguments. *)
+                er.Ast.sref.Ast.service = None
+                && List.mem er.Ast.role holder_roles
+                &&
+                match match_args [] er.Ast.ref_args using.Cert.args with
+                | Some _ -> true
+                | None -> er.Ast.ref_args = [])
+            | None -> false
+          in
+          match List.find_opt statement_ok (election_statements t role) with
+          | None ->
+              audit t Revocation_denied ("delegation of " ^ role ^ " refused");
+              reply (Error ("no election statement permits delegating " ^ role))
+          | Some chosen_statement ->
+              (* The delegation's own credential record; tied to the
+                 delegator's membership when revoke_on_exit is set. *)
+              let d_crr =
+                if revoke_on_exit then begin
+                  let r = Credrec.combine_fresh t.sv_table [ (using.Cert.crr, false) ] in
+                  Credrec.set_auto_revoke t.sv_table r true;
+                  r
+                end
+                else Credrec.leaf t.sv_table ()
+              in
+              Credrec.set_direct_use t.sv_table d_crr true;
+              let expires = Option.map (fun dt -> now t +. dt) expires_in in
+              (match expires with
+              | Some at ->
+                  Engine.schedule (Net.engine t.sv_net)
+                    ~delay:(max 0.0 (at -. now t))
+                    (fun () -> Credrec.invalidate t.sv_table d_crr)
+              | None -> ());
+              let delegator_role =
+                match chosen_statement.Ast.elector with
+                | Some er -> er.Ast.role
+                | None -> assert false
+              in
+              let d =
+                {
+                  Cert.d_service = t.sv_name;
+                  d_rolefile = t.sv_rolefile_id;
+                  d_role = role;
+                  d_required = required;
+                  d_crr;
+                  d_delegator_crr = using.Cert.crr;
+                  d_delegator_role = delegator_role;
+                  d_delegator_args = using.Cert.args;
+                  d_expires = expires;
+                  d_sig = "";
+                }
+              in
+              let d = Cert.sign_delegation t.sv_secrets ~length:t.sv_sig_length d in
+              let r =
+                {
+                  Cert.r_service = t.sv_name;
+                  r_role = delegator_role;
+                  r_delegator_crr = using.Cert.crr;
+                  r_target_crr = d_crr;
+                  r_sig = "";
+                }
+              in
+              let r = Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length r in
+              audit t Delegation
+                (Printf.sprintf "%s delegated %s" (Principal.vci_to_string delegator) role);
+              reply (Ok (d, r))))
+
+let request_revocation t ~client_host (rcert : Cert.revocation) k =
+  Net.send t.sv_net ~category:"oasis.revoke" ~size:96 ~src:client_host ~dst:t.sv_host (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.revoke.reply" ~size:32 ~src:t.sv_host ~dst:client_host
+          (fun () -> k result)
+      in
+      if not (String.equal rcert.Cert.r_service t.sv_name) then
+        reply (Error "revocation certificate for another service")
+      else if not (Cert.verify_revocation t.sv_secrets rcert) then begin
+        audit t Fraud "forged revocation certificate";
+        reply (Error "bad revocation signature")
+      end
+      else if Credrec.state t.sv_table rcert.Cert.r_delegator_crr <> Credrec.True then begin
+        (* fig 4.3: the delegator must still be a member of the delegating
+           role to revoke. *)
+        audit t Revocation_denied "revoker no longer holds the delegating role";
+        reply (Error "revoker no longer holds the delegating role")
+      end
+      else begin
+        Credrec.invalidate t.sv_table rcert.Cert.r_target_crr;
+        audit t Revocation "delegation revoked";
+        reply (Ok ())
+      end)
+
+let exit_role t ~client_host (cert : Cert.rmc) k =
+  Net.send t.sv_net ~category:"oasis.exit" ~size:96 ~src:client_host ~dst:t.sv_host (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.exit.reply" ~size:32 ~src:t.sv_host ~dst:client_host
+          (fun () -> k result)
+      in
+      if not (verify_rmc_sig t cert) then reply (Error "bad certificate")
+      else begin
+        Credrec.invalidate t.sv_table cert.Cert.crr;
+        audit t Exit (Principal.vci_to_string cert.Cert.holder ^ " exited");
+        reply (Ok ())
+      end)
+
+(* --- role-based revocation (§4.11) --- *)
+
+let revoker_matches t (revoker_ref : Ast.role_ref) (cert : Cert.rmc) =
+  revoker_ref.Ast.sref.Ast.service = None
+  && Cert.has_role ~role_bits:t.sv_role_bits cert revoker_ref.Ast.role
+
+let revoke_role_instance t ~client_host ~revoker ~role ~args k =
+  Net.send t.sv_net ~category:"oasis.rbr" ~size:128 ~src:client_host ~dst:t.sv_host (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.rbr.reply" ~size:32 ~src:t.sv_host ~dst:client_host
+          (fun () -> k result)
+      in
+      match validate t ~client:revoker.Cert.holder revoker with
+      | Error f -> reply (Error (Format.asprintf "revoker credential: %a" pp_failure f))
+      | Ok () -> (
+          let key = blacklist_key role args in
+          match Hashtbl.find_opt t.sv_rbr key with
+          | None ->
+              (* No live memberships; still blacklist if the rolefile allows
+                 this revoker for the role. *)
+              let allowed =
+                List.exists
+                  (fun (e : Ast.entry) ->
+                    fst e.Ast.head = role
+                    &&
+                    match e.Ast.revoker with
+                    | Some r -> revoker_matches t r revoker
+                    | None -> false)
+                  (Ast.entries t.sv_rolefile)
+              in
+              if allowed then begin
+                Hashtbl.replace t.sv_blacklist key ();
+                audit t Revocation (Printf.sprintf "%s(%s) blacklisted" role "");
+                reply (Ok 0)
+              end
+              else reply (Error "no revocation right for this role")
+          | Some cell ->
+              let eligible, rest =
+                List.partition (fun (r, _) -> revoker_matches t r revoker) !cell
+              in
+              if eligible = [] then reply (Error "revoker role does not match")
+              else begin
+                List.iter (fun (_, rbr) -> Credrec.invalidate t.sv_table rbr) eligible;
+                cell := rest;
+                Hashtbl.replace t.sv_blacklist key ();
+                audit t Revocation
+                  (Printf.sprintf "%d membership(s) of %s revoked by role" (List.length eligible)
+                     role);
+                reply (Ok (List.length eligible))
+              end))
+
+let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
+  Net.send t.sv_net ~category:"oasis.rbr" ~size:128 ~src:client_host ~dst:t.sv_host (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.rbr.reply" ~size:32 ~src:t.sv_host ~dst:client_host
+          (fun () -> k result)
+      in
+      match validate t ~client:revoker.Cert.holder revoker with
+      | Error f -> reply (Error (Format.asprintf "revoker credential: %a" pp_failure f))
+      | Ok () ->
+          let allowed =
+            List.exists
+              (fun (e : Ast.entry) ->
+                fst e.Ast.head = role
+                && match e.Ast.revoker with Some r -> revoker_matches t r revoker | None -> false)
+              (Ast.entries t.sv_rolefile)
+          in
+          if not allowed then reply (Error "no revocation right for this role")
+          else begin
+            Hashtbl.remove t.sv_blacklist (blacklist_key role args);
+            reply (Ok ())
+          end)
+
+(* --- interworking (§4.12) --- *)
+
+let issue_arbitrary t ~client ~roles ~args =
+  let crr = Credrec.leaf t.sv_table () in
+  issue_cert t ~client ~roles ~args ~crr
+
+let issue_with_record t ~client ~roles ~args ~crr = issue_cert t ~client ~roles ~args ~crr
+
+let import_remote_record t ~peer ~remote =
+  external_record t ~peer_name:peer ~remote_ref:remote ~initial:Credrec.True
+
+let mint_delegation_record t ~delegator_crr ?expires_in ?(revoke_on_exit = false) () =
+  let d_crr =
+    if revoke_on_exit then begin
+      let r = Credrec.combine_fresh t.sv_table [ (delegator_crr, false) ] in
+      Credrec.set_auto_revoke t.sv_table r true;
+      r
+    end
+    else Credrec.leaf t.sv_table ()
+  in
+  Credrec.set_direct_use t.sv_table d_crr true;
+  (match expires_in with
+  | Some dt -> Engine.schedule (Net.engine t.sv_net) ~delay:dt (fun () -> Credrec.invalidate t.sv_table d_crr)
+  | None -> ());
+  let r =
+    {
+      Cert.r_service = t.sv_name;
+      r_role = "";
+      r_delegator_crr = delegator_crr;
+      r_target_crr = d_crr;
+      r_sig = "";
+    }
+  in
+  (d_crr, Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length r)
+
+let revoke_certificate t (cert : Cert.rmc) = Credrec.invalidate t.sv_table cert.Cert.crr
+
+(* Delegating the right to revoke (§4.4): a special delegation that passes a
+   revocation certificate on, under the fixed policy that the recipient must
+   themselves be a member of the elector role. *)
+let delegate_revocation t ~client_host ~rcert ~to_cert k =
+  Net.send t.sv_net ~category:"oasis.redelegate" ~size:128 ~src:client_host ~dst:t.sv_host
+    (fun () ->
+      let reply result =
+        Net.send t.sv_net ~category:"oasis.redelegate.reply" ~size:160 ~src:t.sv_host
+          ~dst:client_host (fun () -> k result)
+      in
+      if not (String.equal rcert.Cert.r_service t.sv_name) then
+        reply (Error "revocation certificate for another service")
+      else if not (Cert.verify_revocation t.sv_secrets rcert) then
+        reply (Error "bad revocation signature")
+      else if String.equal rcert.Cert.r_role "" then
+        reply (Error "this revocation certificate cannot be re-delegated")
+      else if not (verify_rmc_sig t to_cert) then reply (Error "bad candidate certificate")
+      else if not (Cert.has_role ~role_bits:t.sv_role_bits to_cert rcert.Cert.r_role) then begin
+        (* The fixed policy of §4.4. *)
+        audit t Revocation_denied
+          ("revocation right refused: candidate does not hold " ^ rcert.Cert.r_role);
+        reply (Error ("candidate must hold the " ^ rcert.Cert.r_role ^ " role"))
+      end
+      else begin
+        let fresh =
+          {
+            Cert.r_service = t.sv_name;
+            r_role = rcert.Cert.r_role;
+            r_delegator_crr = to_cert.Cert.crr;
+            r_target_crr = rcert.Cert.r_target_crr;
+            r_sig = "";
+          }
+        in
+        audit t Delegation ("revocation right re-delegated for role " ^ rcert.Cert.r_role);
+        reply (Ok (Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length fresh))
+      end)

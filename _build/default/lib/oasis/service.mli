@@ -1,0 +1,230 @@
+(** An OASIS service: rolefile, role-entry engine, certificate issue and
+    validation, delegation/election, revocation — chapters 3 and 4.
+
+    A service lives on a simulated host, owns a credential-record table, a
+    rolling secret table, a set of local groups and extension functions, and
+    an event broker over which it publishes [Modified(crr, state)] events so
+    that {e other} services holding certificates it issued can cascade
+    revocation (§4.9).  Client-facing operations travel over the simulated
+    network; inter-service certificate validation is an RPC to the issuing
+    service (§2.10), with the result cached locally as an {e external
+    record} kept coherent by event notification and marked [Unknown] when
+    heartbeats stop (§4.10). *)
+
+type value = Oasis_rdl.Value.t
+
+type t
+
+(** The name service / trader through which services resolve each other. *)
+type registry
+
+val create_registry : unit -> registry
+val find_service : registry -> string -> t option
+
+val create :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  registry ->
+  name:string ->
+  ?rolefile_id:string ->
+  rolefile:string ->
+  ?funcs:(string * (value list -> (value, string) result)) list ->
+  ?resolve_literal:(string -> value option) ->
+  ?sig_length:int ->
+  ?cache_validation:bool ->
+  ?compound_certificates:bool ->
+  ?fixpoint_entry:bool ->
+  ?heartbeat:float ->
+  unit ->
+  (t, string) result
+(** Parse + type-check the rolefile and install the service.
+
+    [sig_length]: signature length in hex chars (§4.2's per-service
+    trade-off; default 16).  [cache_validation]: cache signature checks
+    (default true).  [compound_certificates]: fold same-argument roles
+    entered in one request into one certificate (§4.3; default true).
+    [fixpoint_entry]: ablation switch — iterate statement application to a
+    fixpoint instead of the paper's single in-order pass (default false).
+    [heartbeat]: period of this service's broker heartbeats (default 1s). *)
+
+val name : t -> string
+val host : t -> Oasis_sim.Net.host
+val table : t -> Credrec.table
+val broker : t -> Oasis_events.Broker.server
+val rolefile : t -> Oasis_rdl.Ast.rolefile
+val registry : t -> registry
+
+val group : t -> string -> Group.t
+(** Find or create a local group. *)
+
+val role_bits : t -> (string * int) list
+(** The service's role→bit configuration mapping (§4.3). *)
+
+val roll_secret : t -> unit
+(** Install a fresh signing secret (§5.5.1); certificates signed with
+    retired secrets stop verifying. *)
+
+(** {1 Validation (§4.2)} *)
+
+type failure =
+  | Wrong_client  (** presented by a client other than its holder *)
+  | Forged  (** signature check failed *)
+  | Wrong_context  (** issued by another service or rolefile *)
+  | Insufficient  (** valid but does not embody the needed role *)
+  | Revoked  (** credential record is False *)
+  | Unknown_state  (** possibly revoked (network failure); fails closed *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val validate :
+  t -> client:Principal.vci -> ?need_role:string -> Cert.rmc -> (unit, failure) result
+(** Full local validation: holder binding, signature (cached when enabled),
+    context, optional rights check, credential record state.  Fraudulent and
+    erroneous failures are audited separately from revocation (§4.2). *)
+
+val validate_for_peer :
+  t -> Cert.rmc -> (string list * value list * Credrec.cref, failure) result
+(** The inter-service validation interface (§2.10): returns role names,
+    arguments and the CRR; also arms [Modified] event notification for that
+    record. *)
+
+(** {1 Role entry} *)
+
+val request_entry :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  client:Principal.vci ->
+  role:string ->
+  ?args:value list ->
+  ?creds:Cert.rmc list ->
+  ?delegation:Cert.delegation ->
+  ((Cert.rmc, string) result -> unit) ->
+  unit
+(** Ask to enter [role], supplying credentials (certificates from this or
+    other services) and optionally a delegation certificate.  Statements are
+    applied in rolefile order; intermediate roles are entered automatically;
+    the first suitable membership is returned (§3.2.2, fig 3.2). *)
+
+(** {1 Delegation and revocation (§4.4–4.5)} *)
+
+val request_delegation :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  delegator:Principal.vci ->
+  using:Cert.rmc ->
+  role:string ->
+  required:(string * string * value list) list ->
+  ?expires_in:float ->
+  ?revoke_on_exit:bool ->
+  ((Cert.delegation * Cert.revocation, string) result -> unit) ->
+  unit
+(** The delegator must hold (via [using]) the elector role of an election
+    statement for [role].  [required] names the roles the candidate must
+    hold ([Value.Str "*"] is a wildcard argument).  [expires_in] arms
+    automatic revocation (§4.4); [revoke_on_exit] ties the delegation to the
+    delegator's own membership record. *)
+
+val request_revocation :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  Cert.revocation ->
+  ((unit, string) result -> unit) ->
+  unit
+(** Uses the revocation certificate: checks the delegator still holds the
+    delegating role, then invalidates the delegation record (cascades). *)
+
+val delegate_revocation :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  rcert:Cert.revocation ->
+  to_cert:Cert.rmc ->
+  ((Cert.revocation, string) result -> unit) ->
+  unit
+(** Delegate the {e right to revoke} (§4.4): re-issue a revocation
+    certificate so that the holder of [to_cert] may exercise it.  The fixed
+    policy applies: the recipient must themselves be a member of the
+    delegating (elector) role; the new certificate is bound to the
+    recipient's membership record, so it dies if they lose the role. *)
+
+val exit_role :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  Cert.rmc ->
+  ((unit, string) result -> unit) ->
+  unit
+(** Voluntary exit (e.g. logoff): invalidates the certificate's record. *)
+
+(** {1 Role-based revocation (§3.3.2, §4.11)} *)
+
+val revoke_role_instance :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  revoker:Cert.rmc ->
+  role:string ->
+  args:value list ->
+  ((int, string) result -> unit) ->
+  unit
+(** A holder of the revoker role named by the [|>] clause revokes every
+    live membership of [role(args)] and blacklists the instance ("fire").
+    Returns the number of memberships revoked. *)
+
+val reinstate_role_instance :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  revoker:Cert.rmc ->
+  role:string ->
+  args:value list ->
+  ((unit, string) result -> unit) ->
+  unit
+(** Remove the blacklist entry ("re-hire", §4.11). *)
+
+(** {1 Interworking (§4.12)} *)
+
+val issue_arbitrary :
+  t -> client:Principal.vci -> roles:string list -> args:value list -> Cert.rmc
+(** Issue a certificate outside RDL policy — the bootstrap mechanism used by
+    password and loader services, and by adapters for legacy schemes. *)
+
+val issue_with_record :
+  t -> client:Principal.vci -> roles:string list -> args:value list ->
+  crr:Credrec.cref -> Cert.rmc
+(** Like {!issue_arbitrary} but embedding a caller-built credential record —
+    used by embedding systems (the MSSA custodes) that assemble their own
+    membership-rule graphs (§5.5.2). *)
+
+val import_remote_record :
+  t -> peer:string -> remote:Credrec.cref -> Credrec.cref
+(** The external-record mechanism (§4.9.1) for embedding systems: a local
+    surrogate for a record held by [peer], kept coherent by [Modified]
+    event notification and marked [Unknown] on missed heartbeats. *)
+
+val mint_delegation_record :
+  t ->
+  delegator_crr:Credrec.cref ->
+  ?expires_in:float ->
+  ?revoke_on_exit:bool ->
+  unit ->
+  Credrec.cref * Cert.revocation
+(** Create a delegation credential record plus its matching revocation
+    certificate, for embedding systems that implement their own election
+    policy (e.g. MSSA per-file delegation, §5.4.3). *)
+
+val revoke_certificate : t -> Cert.rmc -> unit
+(** Invalidate the certificate's credential record directly. *)
+
+(** {1 Auditing and accounting (§4.13)} *)
+
+type audit_kind = Fraud | Erroneous | Revocation_denied | Entry | Delegation | Revocation | Exit
+
+type audit_entry = { at : float; kind : audit_kind; detail : string }
+
+val audit_log : t -> audit_entry list
+(** Newest first. *)
+
+val crypto_checks : t -> int
+(** Signature computations performed (cache misses). *)
+
+val cache_hits : t -> int
+
+val gc : t -> int
+(** Run a credential-record GC sweep; returns slots reclaimed. *)

@@ -1,0 +1,102 @@
+module Value = Oasis_rdl.Value
+
+type t = {
+  u_service : Service.t;
+  u_tree : (string * string) list;
+}
+
+let parent_of path =
+  if String.equal path "/" then None
+  else
+    match String.rindex_opt path '/' with
+    | Some 0 -> Some "/"
+    | Some i -> Some (String.sub path 0 i)
+    | None -> None
+
+let depth path = List.length (String.split_on_char '/' path)
+
+let bool_value b = Value.Int (if b then 1 else 0)
+
+let create net host registry ~name ~tree =
+  if not (List.mem_assoc "/" tree) then Error "tree must contain the root \"/\""
+  else begin
+    (* nodeacl needs the (not-yet-created) service's groups, so it closes
+       over a forward reference. *)
+    let service_ref : Service.t option ref = ref None in
+    let in_group user g =
+      match !service_ref with
+      | None -> false
+      | Some svc -> Group.mem (Service.group svc g) (Value.Str user)
+    in
+    (* One ACL statement per node (§3.3.3: "we represent each ACL as an
+       entry within a single rolefile"), parents before children, followed
+       by the generic directory rules. *)
+    let sorted = List.sort (fun (a, _) (b, _) -> compare (depth a, a) (depth b, b)) tree in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "import Login.userid\n";
+    Buffer.add_string buf "def ACL(r, f) r: {rwx} f: String\n";
+    Buffer.add_string buf "def UseDir(d) d: String\n";
+    Buffer.add_string buf "def UseFile(f, r) f: String r: {rwx}\n";
+    List.iter
+      (fun (path, _acl) ->
+        Buffer.add_string buf
+          (Printf.sprintf "ACL(r, %S) <- Login.LoggedOn(u, h) : r = nodeacl(%S, u)\n" path path))
+      sorted;
+    Buffer.add_string buf "UseDir(d) <- ACL(r, d) : Root(d) and {x} subset r\n";
+    Buffer.add_string buf "UseDir(d) <- ACL(r, d) /\\ UseDir(p) : InDir(d, p) and {x} subset r\n";
+    Buffer.add_string buf "UseFile(f, r) <- ACL(r, f) /\\ UseDir(p) : InDir(f, p)\n";
+    let funcs =
+      [
+        ( "nodeacl",
+          fun args ->
+            match args with
+            | [ Value.Str path; Value.Str user ] -> (
+                match List.assoc_opt path tree with
+                | None -> Error ("no such node " ^ path)
+                | Some acl ->
+                    Ok (Value.set_of_chars (Acl.unixacl acl ~user ~in_group:(in_group user))))
+            | _ -> Error "nodeacl(path, user)" );
+        ( "InDir",
+          fun args ->
+            match args with
+            | [ Value.Str f; Value.Str d ] -> Ok (bool_value (parent_of f = Some d))
+            | _ -> Error "InDir(file, dir)" );
+        ( "Root",
+          fun args ->
+            match args with
+            | [ Value.Str d ] -> Ok (bool_value (String.equal d "/"))
+            | _ -> Error "Root(dir)" );
+      ]
+    in
+    match
+      Service.create net host registry ~name ~rolefile:(Buffer.contents buf) ~funcs
+        ~fixpoint_entry:true ()
+    with
+    | Error e -> Error e
+    | Ok service ->
+        service_ref := Some service;
+        Ok { u_service = service; u_tree = tree }
+  end
+
+let service t = t.u_service
+let paths t = List.map fst t.u_tree
+
+let request_use t ~client_host ~client ~login ~path k =
+  match List.assoc_opt path t.u_tree with
+  | None -> k (Error ("no such path " ^ path))
+  | Some acl ->
+      (* Predict the rights the file's own ACL would yield, then request the
+         exact certificate.  The engine re-derives everything through the
+         RDL rules — in particular the recursive UseDir chain — so a parent
+         directory without 'x' still denies entry. *)
+      let user = match login.Cert.args with Value.Str u :: _ -> u | _ -> "" in
+      let in_group g = Group.mem (Service.group t.u_service g) (Value.Str user) in
+      let rights = Acl.unixacl acl ~user ~in_group in
+      if String.length rights = 0 then k (Error ("no rights for " ^ user ^ " on " ^ path))
+      else
+        Service.request_entry t.u_service ~client_host ~client ~role:"UseFile"
+          ~args:[ Value.Str path; Value.set_of_chars rights ]
+          ~creds:[ login ]
+          (function
+            | Ok cert -> k (Ok (cert, rights))
+            | Error e -> k (Error e))

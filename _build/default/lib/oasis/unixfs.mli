@@ -1,0 +1,53 @@
+(** Legacy Unix filing-system adapter (§3.3.3).
+
+    In Unix, access to a file is restricted by the ACLs on the parent
+    directories in addition to the ACL on the file itself.  The paper shows
+    how to express this scheme in RDL so that interworking with such a
+    legacy system can be reasoned about: each node's ACL becomes an entry
+    statement, and two generic rules relate directory rights to file
+    rights, using extension functions [InDir(f, d)] and [Root(d)]:
+
+    {v
+    ACL(r, "/path") <- Login.LoggedOn(u, h) : r = unixacl("...", u)   (per node)
+    UseDir(d)       <- ACL(r, d)             : Root(d) and {x} subset r
+    UseDir(d)       <- ACL(r, d) /\ UseDir(p) : InDir(d, p) and {x} subset r
+    UseFile(f, r)   <- ACL(r, f) /\ UseDir(p) : InDir(f, p)
+    v}
+
+    The recursive [UseDir] rule makes the rule set a genuine Datalog
+    program; the adapter therefore runs its service in fixpoint-entry mode
+    (the evaluation strategy §3.3.3 implies, as opposed to fig 3.2's
+    single pass for ordinary rolefiles). *)
+
+type t
+
+val create :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  Service.registry ->
+  name:string ->
+  tree:(string * string) list ->
+  (t, string) result
+(** [tree] maps absolute paths to their Unix-style ACL strings (see
+    {!Acl.unixacl}); it must contain ["/"].  A path is a directory iff some
+    other path lies beneath it.  Example:
+
+    [\[ ("/", "root=rwx other=r-x"); ("/home", "other=r-x");
+        ("/home/rjh21", "rjh21=rwx staff=r-x");
+        ("/home/rjh21/thesis.tex", "rjh21=rw- staff=r--") \]] *)
+
+val service : t -> Service.t
+
+val request_use :
+  t ->
+  client_host:Oasis_sim.Net.host ->
+  client:Principal.vci ->
+  login:Cert.rmc ->
+  path:string ->
+  ((Cert.rmc * string, string) result -> unit) ->
+  unit
+(** Obtain a [UseFile(path, rights)] certificate; returns it with the
+    granted rights characters.  Fails when any enclosing directory denies
+    search ('x') permission, exactly as in Unix. *)
+
+val paths : t -> string list

@@ -1,0 +1,1 @@
+lib/rdl/ast.ml: Hashtbl List Ty Value

@@ -1,0 +1,1 @@
+lib/rdl/eval.ml: Ast Int List Printf Result Value

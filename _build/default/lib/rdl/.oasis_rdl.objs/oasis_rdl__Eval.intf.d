@@ -1,0 +1,1 @@
+lib/rdl/eval.mli: Ast Value

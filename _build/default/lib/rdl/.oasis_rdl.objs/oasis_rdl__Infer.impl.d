@@ -1,0 +1,1 @@
+lib/rdl/infer.ml: Ast Format Hashtbl List Option Ty Value

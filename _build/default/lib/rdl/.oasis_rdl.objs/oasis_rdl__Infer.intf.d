@@ -1,0 +1,1 @@
+lib/rdl/infer.mli: Ast Hashtbl Stdlib Ty

@@ -1,0 +1,1 @@
+lib/rdl/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/rdl/lexer.mli: Format

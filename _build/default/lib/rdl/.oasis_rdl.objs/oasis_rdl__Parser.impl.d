@@ -1,0 +1,1 @@
+lib/rdl/parser.ml: Ast Lexer List Printf Ty Value

@@ -1,0 +1,1 @@
+lib/rdl/parser.mli: Ast Value

@@ -1,0 +1,1 @@
+lib/rdl/pretty.ml: Ast Format List String Ty Value

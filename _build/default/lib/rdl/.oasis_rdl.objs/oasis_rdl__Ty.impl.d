@@ -1,0 +1,1 @@
+lib/rdl/ty.ml: Format Printf String Value

@@ -1,0 +1,1 @@
+lib/rdl/ty.mli: Format Value

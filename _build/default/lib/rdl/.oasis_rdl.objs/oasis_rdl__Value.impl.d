@@ -1,0 +1,1 @@
+lib/rdl/value.ml: Buffer Char Format Int List Option Printf String

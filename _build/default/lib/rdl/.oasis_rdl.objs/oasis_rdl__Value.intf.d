@@ -1,0 +1,1 @@
+lib/rdl/value.mli: Format

@@ -1,0 +1,113 @@
+(** Abstract syntax of RDL rolefiles (ch. 3).
+
+    Concrete syntax used by the lexer/parser (ASCII renderings of the paper's
+    symbols):
+
+    {v
+    rolefile  ::= item*
+    item      ::= "import" IDENT "." IDENT
+                | "def" IDENT "(" IDENT ("," IDENT)* ")" (IDENT ":" type)*
+                | entry
+    type      ::= "Integer" | "String" | "{" chars "}" | IDENT
+    entry     ::= head "<-" [creds] [elect] [revoke] [":" constr]
+    head      ::= IDENT ["(" arg ("," arg)* ")"]
+    creds     ::= roleref ((wedge | "&&") roleref)*    -- wedge is slash-backslash
+    roleref   ::= [IDENT ["[" IDENT "]"] "."] IDENT ["(" args ")"] ["*"]
+    elect     ::= "<|" ["*"] roleref          -- the paper's ◁ (election)
+    revoke    ::= "|>" ["*"] roleref          -- the paper's ▷ (role-based revocation)
+    arg       ::= literal | IDENT
+    literal   ::= INT | STRING | "{" chars "}" | "@" IDENT STRING
+    constr    ::= or-expression over atoms; atoms may carry a "*" membership
+                  annotation; see {!constr}
+    v}
+
+    The ["*"] annotations mark {e membership rules}: entry conditions whose
+    continued validity is required for the lifetime of the certificate
+    (§3.2.3). *)
+
+type arg = Avar of string | Alit of Value.t
+
+(** Reference to the service (and optionally the rolefile within it) that
+    issues a role.  [service = None] means the local rolefile. *)
+type service_ref = { service : string option; rolefile : string option }
+
+let local_service = { service = None; rolefile = None }
+
+type role_ref = {
+  sref : service_ref;
+  role : string;
+  ref_args : arg list;
+  starred : bool;  (** membership rule: revoke if this credential is revoked *)
+}
+
+type relop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Elit of Value.t
+  | Evar of string
+  | Ecall of string * expr list
+      (** Server-specific extension function (§3.3.1), e.g. [unixacl],
+          [creator], [acl]. *)
+
+type constr =
+  | Cand of constr * constr
+  | Cor of constr * constr
+  | Cnot of constr
+  | Cstar of constr  (** membership-rule annotation on a sub-expression *)
+  | Crel of relop * expr * expr
+  | Cin of expr * string  (** group membership test: [expr in groupname] *)
+  | Csubset of expr * expr
+  | Ccall of string * expr list  (** boolean extension function *)
+  | Cbind of string * expr
+      (** [x <- e]: bind [x] if unbound, otherwise test equality.  [x = e]
+          with [x] unbound behaves identically. *)
+
+type entry = {
+  head : string * arg list;
+  creds : role_ref list;
+  elector : role_ref option;  (** election form: candidate needs this elector *)
+  elect_starred : bool;  (** [<|*]: revoke when the delegation is revoked *)
+  revoker : role_ref option;  (** role-based revocation extension (§3.3.2) *)
+  constr : constr option;
+}
+
+type decl = { decl_name : string; params : string list; param_types : (string * Ty.t) list }
+
+type item = Import of string * string | Def of decl | Entry of entry
+
+type rolefile = item list
+
+let entries rolefile =
+  List.filter_map (function Entry e -> Some e | Import _ | Def _ -> None) rolefile
+
+let defs rolefile =
+  List.filter_map (function Def d -> Some d | Import _ | Entry _ -> None) rolefile
+
+let imports rolefile =
+  List.filter_map (function Import (s, t) -> Some (s, t) | Def _ | Entry _ -> None) rolefile
+
+(** All role names defined (by entry statements) in the file, in first
+    occurrence order. *)
+let defined_roles rolefile =
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (function
+      | Entry { head = name, _; _ } when not (Hashtbl.mem seen name) ->
+          Hashtbl.add seen name ();
+          Some name
+      | Entry _ | Import _ | Def _ -> None)
+    rolefile
+
+(** Variables appearing in an expression, in order of first occurrence. *)
+let rec expr_vars = function
+  | Elit _ -> []
+  | Evar v -> [ v ]
+  | Ecall (_, args) -> List.concat_map expr_vars args
+
+let rec constr_vars = function
+  | Cand (a, b) | Cor (a, b) -> constr_vars a @ constr_vars b
+  | Cnot c | Cstar c -> constr_vars c
+  | Crel (_, a, b) | Csubset (a, b) -> expr_vars a @ expr_vars b
+  | Cin (e, _) -> expr_vars e
+  | Ccall (_, args) -> List.concat_map expr_vars args
+  | Cbind (x, e) -> x :: expr_vars e

@@ -1,0 +1,121 @@
+open Ast
+
+type env = (string * Value.t) list
+
+type mrule = { residual : Ast.constr; bindings : env }
+
+type ctx = {
+  lookup_group : string -> Value.t -> bool;
+  call : string -> Value.t list -> (Value.t, string) result;
+}
+
+let pure_ctx =
+  {
+    lookup_group = (fun g _ -> invalid_arg ("Eval.pure_ctx: no group " ^ g));
+    call = (fun f _ -> Error ("unknown function " ^ f));
+  }
+
+let ( let* ) = Result.bind
+
+let rec eval_expr ctx env = function
+  | Elit v -> Ok v
+  | Evar x -> (
+      match List.assoc_opt x env with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "unbound variable %s" x))
+  | Ecall (fname, args) ->
+      let* values =
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* v = eval_expr ctx env e in
+            Ok (v :: acc))
+          (Ok []) args
+      in
+      ctx.call fname (List.rev values)
+
+let truthy = function
+  | Value.Int n -> Ok (n <> 0)
+  | v -> Error (Printf.sprintf "expected boolean (integer) value, got %s" (Value.to_string v))
+
+let compare_rel op a b =
+  let ord cmp = match op with
+    | Lt -> cmp < 0
+    | Le -> cmp <= 0
+    | Gt -> cmp > 0
+    | Ge -> cmp >= 0
+    | Eq | Ne -> assert false
+  in
+  match op with
+  | Eq -> Ok (Value.equal a b)
+  | Ne -> Ok (not (Value.equal a b))
+  | Lt | Le | Gt | Ge -> (
+      match (a, b) with
+      | Value.Int x, Value.Int y -> Ok (ord (Int.compare x y))
+      | _ ->
+          Error
+            (Printf.sprintf "ordering comparison requires integers: %s vs %s"
+               (Value.to_string a) (Value.to_string b)))
+
+(* [negations] counts enclosing [not]s so captured membership rules carry the
+   right polarity. *)
+let eval ctx env constr =
+  let rec go env negations rules = function
+    | Cand (a, b) ->
+        let* truth_a, env, rules = go env negations rules a in
+        if truth_a then go env negations rules b else Ok (false, env, rules)
+    | Cor (a, b) -> (
+        match go env negations rules a with
+        | Ok (true, env', rules') -> Ok (true, env', rules')
+        | Ok (false, _, _) | Error _ -> go env negations rules b)
+    | Cnot c ->
+        let* truth, _env_inside, rules = go env (negations + 1) rules c in
+        (* Bindings under negation do not escape. *)
+        Ok (not truth, env, rules)
+    | Cstar c ->
+        let* truth, env', rules = go env negations rules c in
+        let residual = if negations land 1 = 1 then Cnot c else c in
+        Ok (truth, env', { residual; bindings = env' } :: rules)
+    | Crel (Eq, Evar x, e) when not (List.mem_assoc x env) ->
+        (* Equality against an unbound variable binds it (assignment form). *)
+        let* v = eval_expr ctx env e in
+        Ok (true, (x, v) :: env, rules)
+    | Crel (op, a, b) ->
+        let* va = eval_expr ctx env a in
+        let* vb = eval_expr ctx env b in
+        let* truth = compare_rel op va vb in
+        Ok (truth, env, rules)
+    | Cin (e, group) ->
+        let* v = eval_expr ctx env e in
+        Ok (ctx.lookup_group group v, env, rules)
+    | Csubset (a, b) ->
+        let* va = eval_expr ctx env a in
+        let* vb = eval_expr ctx env b in
+        (match (va, vb) with
+        | Value.Set _, Value.Set _ -> Ok (Value.set_subset va vb, env, rules)
+        | _ -> Error "subset requires set values")
+    | Ccall (fname, args) ->
+        let* v = eval_expr ctx env (Ecall (fname, args)) in
+        let* truth = truthy v in
+        Ok (truth, env, rules)
+    | Cbind (x, e) -> (
+        let* v = eval_expr ctx env e in
+        match List.assoc_opt x env with
+        | Some existing -> Ok (Value.equal existing v, env, rules)
+        | None -> Ok (true, (x, v) :: env, rules))
+  in
+  let* truth, env, rules = go env 0 [] constr in
+  Ok (truth, env, List.rev rules)
+
+let groups_mentioned constr env =
+  let ctx = { pure_ctx with lookup_group = (fun _ _ -> true) } in
+  let rec collect acc = function
+    | Cand (a, b) | Cor (a, b) -> collect (collect acc a) b
+    | Cnot c | Cstar c -> collect acc c
+    | Cin (e, group) -> (
+        match eval_expr ctx env e with
+        | Ok v -> (group, v) :: acc
+        | Error _ -> acc)
+    | Crel _ | Csubset _ | Ccall _ | Cbind _ -> acc
+  in
+  List.rev (collect [] constr)

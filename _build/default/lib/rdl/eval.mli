@@ -1,0 +1,46 @@
+(** Constraint-expression evaluation (§3.2.4) with membership-rule capture.
+
+    Evaluation happens at role-entry time, in an environment of variable
+    bindings accumulated while matching role references.  Starred
+    sub-expressions are returned as {e residual membership rules}: the
+    residual constraint plus the bindings in force when it was evaluated
+    (§3.2.4: "a membership rule is formed by substituting in the value of all
+    the other subexpressions at the time of role entry").  The role-entry
+    engine turns each residual into a credential record whose parents are the
+    group-membership facts the residual mentions.
+
+    Boolean extension functions (§3.3.1) return [Value.Int]; non-zero is
+    true. *)
+
+type env = (string * Value.t) list
+
+type mrule = {
+  residual : Ast.constr;
+      (** The starred sub-expression, polarity-adjusted (wrapped in [Cnot]
+          for each enclosing [not]); must remain true for the certificate to
+          stay valid. *)
+  bindings : env;  (** Variable values at capture time. *)
+}
+
+type ctx = {
+  lookup_group : string -> Value.t -> bool;
+      (** [lookup_group name member]: current membership fact. *)
+  call : string -> Value.t list -> (Value.t, string) result;
+      (** Server-specific extension functions ([unixacl], [creator], ...). *)
+}
+
+val pure_ctx : ctx
+(** A context with no groups and no functions; any use of them errors. *)
+
+val eval_expr : ctx -> env -> Ast.expr -> (Value.t, string) result
+
+val eval : ctx -> env -> Ast.constr -> (bool * env * mrule list, string) result
+(** [eval ctx env c] returns the truth value, the (possibly extended)
+    bindings, and membership rules captured from starred sub-expressions.
+    Bindings made inside a failed [or]-branch or under [not] are discarded.
+    Unbound variables in test position are an error. *)
+
+val groups_mentioned : Ast.constr -> env -> (string * Value.t) list
+(** The ground group-membership atoms a residual depends on: for each
+    [Cin (e, g)] whose expression evaluates under the bindings, the pair
+    [(g, member)].  Used to wire credential records to group facts. *)

@@ -1,0 +1,32 @@
+(** Type inference over a rolefile (§3.2.1).
+
+    Explicit [def] statements seed role signatures; remaining parameter types
+    are inferred by unification across every statement that mentions the
+    role.  Only types that cannot be inferred need declaring; a rolefile in
+    which some parameter type remains unresolved is reported via
+    [unresolved] so the hosting service can reject or default it. *)
+
+type result = {
+  sigs : (string, Ty.t list) Hashtbl.t;
+      (** Signature (parameter types, in order) for every role defined in the
+          file. *)
+  unresolved : (string * int) list;
+      (** [(role, parameter index)] pairs whose types could not be
+          inferred. *)
+}
+
+type callbacks = {
+  external_sig : service:string -> role:string -> Ty.t list option;
+      (** Types of a role issued by another service ([gettypes], §4.3). *)
+  func_sig : string -> (Ty.t list option * Ty.t) option;
+      (** Signature of a server-specific extension function; [None] argument
+          list means variadic/unchecked. *)
+  group_element : string -> Ty.t option;
+      (** Element type of a named group used in [in] constraints. *)
+}
+
+val no_callbacks : callbacks
+
+val infer : ?callbacks:callbacks -> Ast.rolefile -> (result, string) Stdlib.result
+
+val signature : result -> string -> Ty.t list option

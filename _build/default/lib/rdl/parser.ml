@@ -1,0 +1,392 @@
+open Ast
+
+exception Parse_error of string * int
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  resolve_literal : string -> Value.t option;
+}
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Lexer.EOF
+let line st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let error st msg = raise (Parse_error (msg, line st))
+
+let expect st tok what =
+  if peek st = tok then advance st else error st ("expected " ^ what)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+      advance st;
+      name
+  | _ -> error st "expected identifier"
+
+(* --- lookahead: does the token stream start with "head <-"?  Used to decide
+   whether an IDENT begins the next entry statement rather than continuing the
+   current one (credential lists and constraints are newline-insensitive). --- *)
+
+let starts_new_entry st =
+  let rec skip_args depth = function
+    | (Lexer.RPAREN, _) :: rest -> if depth = 1 then rest else skip_args (depth - 1) rest
+    | (Lexer.LPAREN, _) :: rest -> skip_args (depth + 1) rest
+    | (Lexer.EOF, _) :: _ as rest -> rest
+    | _ :: rest -> skip_args depth rest
+    | [] -> []
+  in
+  match st.toks with
+  | (Lexer.IDENT _, _) :: rest -> (
+      let rest = match rest with (Lexer.LPAREN, _) :: r -> skip_args 1 r | _ -> rest in
+      match rest with (Lexer.ARROW, _) :: _ -> true | _ -> false)
+  | _ -> false
+
+(* --- arguments and literals --- *)
+
+let parse_literal_opt st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Some (Value.Int n)
+  | Lexer.STRING s ->
+      advance st;
+      Some (Value.Str s)
+  | Lexer.SETLIT s ->
+      advance st;
+      Some (Value.set_of_chars s)
+  | Lexer.OBJLIT (ty, id) ->
+      advance st;
+      Some (Value.Obj (ty, id))
+  | _ -> None
+
+let parse_arg st =
+  match parse_literal_opt st with
+  | Some v -> Alit v
+  | None -> (
+      match peek st with
+      | Lexer.IDENT name -> (
+          advance st;
+          match st.resolve_literal name with Some v -> Alit v | None -> Avar name)
+      | _ -> error st "expected argument (literal or variable)")
+
+let parse_arg_list st =
+  (* Caller has consumed LPAREN. *)
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let arg = parse_arg st in
+      match peek st with
+      | Lexer.COMMA ->
+          advance st;
+          go (arg :: acc)
+      | Lexer.RPAREN ->
+          advance st;
+          List.rev (arg :: acc)
+      | _ -> error st "expected ',' or ')' in argument list"
+    in
+    go []
+  end
+
+(* --- role references --- *)
+
+let parse_role_ref st =
+  let first = ident st in
+  let sref, role =
+    match peek st with
+    | Lexer.LBRACKET ->
+        advance st;
+        let rf = ident st in
+        expect st Lexer.RBRACKET "']'";
+        expect st Lexer.DOT "'.' after service reference";
+        let role = ident st in
+        ({ service = Some first; rolefile = Some rf }, role)
+    | Lexer.DOT ->
+        advance st;
+        let role = ident st in
+        ({ service = Some first; rolefile = None }, role)
+    | _ -> (local_service, first)
+  in
+  let ref_args =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      parse_arg_list st
+    end
+    else []
+  in
+  let starred =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  { sref; role; ref_args; starred }
+
+(* --- expressions (constraint grammar, fig 3.3) --- *)
+
+let rec parse_expr st =
+  match parse_literal_opt st with
+  | Some v -> Elit v
+  | None -> (
+      match peek st with
+      | Lexer.IDENT name -> (
+          advance st;
+          if peek st = Lexer.LPAREN then begin
+            advance st;
+            let args = parse_expr_list st in
+            Ecall (name, args)
+          end
+          else match st.resolve_literal name with Some v -> Elit v | None -> Evar name)
+      | _ -> error st "expected expression")
+
+and parse_expr_list st =
+  (* Caller has consumed LPAREN. *)
+  if peek st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      match peek st with
+      | Lexer.COMMA ->
+          advance st;
+          go (e :: acc)
+      | Lexer.RPAREN ->
+          advance st;
+          List.rev (e :: acc)
+      | _ -> error st "expected ',' or ')' in call"
+    in
+    go []
+
+let relop_of_token = function
+  | Lexer.EQ -> Some Eq
+  | Lexer.NE -> Some Ne
+  | Lexer.LT -> Some Lt
+  | Lexer.LE -> Some Le
+  | Lexer.GT -> Some Gt
+  | Lexer.GE -> Some Ge
+  | _ -> None
+
+let rec parse_constr st = parse_or st
+
+and parse_or st =
+  let left = parse_and st in
+  if peek st = Lexer.KW_OR then begin
+    advance st;
+    Cor (left, parse_or st)
+  end
+  else left
+
+and parse_and st =
+  let left = parse_not st in
+  if peek st = Lexer.KW_AND then begin
+    advance st;
+    Cand (left, parse_and st)
+  end
+  else left
+
+and parse_not st =
+  if peek st = Lexer.KW_NOT then begin
+    advance st;
+    Cnot (parse_not st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  let maybe_star atom =
+    if peek st = Lexer.STAR then begin
+      advance st;
+      Cstar atom
+    end
+    else atom
+  in
+  match peek st with
+  | Lexer.LPAREN ->
+      advance st;
+      let inner = parse_constr st in
+      expect st Lexer.RPAREN "')'";
+      maybe_star inner
+  | _ -> (
+      (* Special form: "x <- expr" is an explicit binding. *)
+      match (peek st, peek2 st) with
+      | Lexer.IDENT x, Lexer.ARROW when st.resolve_literal x = None ->
+          advance st;
+          advance st;
+          maybe_star (Cbind (x, parse_expr st))
+      | _ -> (
+          let left = parse_expr st in
+          match peek st with
+          | Lexer.KW_IN ->
+              advance st;
+              let group = ident st in
+              maybe_star (Cin (left, group))
+          | Lexer.KW_SUBSET ->
+              advance st;
+              let right = parse_expr st in
+              maybe_star (Csubset (left, right))
+          | tok -> (
+              match relop_of_token tok with
+              | Some op ->
+                  advance st;
+                  let right = parse_expr st in
+                  maybe_star (Crel (op, left, right))
+              | None -> (
+                  (* A bare call is a boolean extension predicate. *)
+                  match left with
+                  | Ecall (name, args) -> maybe_star (Ccall (name, args))
+                  | Elit _ | Evar _ ->
+                      error st "expected relational operator, 'in' or 'subset'"))))
+
+(* --- items --- *)
+
+let parse_type st =
+  match peek st with
+  | Lexer.IDENT "Integer" ->
+      advance st;
+      Ty.Int
+  | Lexer.IDENT "String" ->
+      advance st;
+      Ty.Str
+  | Lexer.SETLIT alphabet ->
+      advance st;
+      (match Value.set_of_chars alphabet with
+      | Value.Set sorted -> Ty.Set sorted
+      | Value.Int _ | Value.Str _ | Value.Obj _ -> assert false)
+  | Lexer.IDENT name ->
+      advance st;
+      Ty.Obj name
+  | _ -> error st "expected type"
+
+let parse_def st =
+  (* "def" consumed by caller. *)
+  let name = ident st in
+  expect st Lexer.LPAREN "'(' after role name";
+  let params =
+    if peek st = Lexer.RPAREN then begin
+      advance st;
+      []
+    end
+    else
+      let rec go acc =
+        let p = ident st in
+        match peek st with
+        | Lexer.COMMA ->
+            advance st;
+            go (p :: acc)
+        | Lexer.RPAREN ->
+            advance st;
+            List.rev (p :: acc)
+        | _ -> error st "expected ',' or ')' in parameter list"
+      in
+      go []
+  in
+  (* Zero or more "param : type" declarations follow, until something that is
+     not "IDENT COLON". *)
+  let rec types acc =
+    match (peek st, peek2 st) with
+    | Lexer.IDENT p, Lexer.COLON ->
+        advance st;
+        advance st;
+        let ty = parse_type st in
+        types ((p, ty) :: acc)
+    | _ -> List.rev acc
+  in
+  let param_types = types [] in
+  List.iter
+    (fun (p, _) ->
+      if not (List.mem p params) then
+        error st (Printf.sprintf "type declared for unknown parameter %s of %s" p name))
+    param_types;
+  Def { decl_name = name; params; param_types }
+
+let parse_entry st =
+  let name = ident st in
+  let head_args =
+    if peek st = Lexer.LPAREN then begin
+      advance st;
+      parse_arg_list st
+    end
+    else []
+  in
+  expect st Lexer.ARROW "'<-'";
+  (* Credentials: role refs separated by /\, ending at <| |> : or a new item. *)
+  let rec parse_creds acc =
+    match peek st with
+    | Lexer.ELECT | Lexer.REVOKE | Lexer.COLON | Lexer.EOF | Lexer.KW_IMPORT | Lexer.KW_DEF ->
+        List.rev acc
+    | Lexer.IDENT _ when starts_new_entry st -> List.rev acc
+    | Lexer.IDENT _ ->
+        let r = parse_role_ref st in
+        if peek st = Lexer.WEDGE then begin
+          advance st;
+          parse_creds (r :: acc)
+        end
+        else List.rev (r :: acc)
+    | _ -> error st "expected credential role reference"
+  in
+  let creds = parse_creds [] in
+  let elector, elect_starred =
+    if peek st = Lexer.ELECT then begin
+      advance st;
+      let starred =
+        if peek st = Lexer.STAR then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      (Some (parse_role_ref st), starred)
+    end
+    else (None, false)
+  in
+  let revoker =
+    if peek st = Lexer.REVOKE then begin
+      advance st;
+      (* "|>*" and "|>" are equivalent: role-based revocation always arms a
+         revocable credential record; accept the star for fidelity to the
+         paper's examples. *)
+      if peek st = Lexer.STAR then advance st;
+      Some (parse_role_ref st)
+    end
+    else None
+  in
+  let constr =
+    if peek st = Lexer.COLON then begin
+      advance st;
+      Some (parse_constr st)
+    end
+    else None
+  in
+  Entry { head = (name, head_args); creds; elector; elect_starred; revoker; constr }
+
+let parse ?(resolve_literal = fun _ -> None) src =
+  let st = { toks = Lexer.tokenize src; resolve_literal } in
+  let rec go acc =
+    match peek st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.KW_IMPORT ->
+        advance st;
+        let service = ident st in
+        expect st Lexer.DOT "'.' in import";
+        let tyname = ident st in
+        go (Import (service, tyname) :: acc)
+    | Lexer.KW_DEF ->
+        advance st;
+        go (parse_def st :: acc)
+    | Lexer.IDENT _ -> go (parse_entry st :: acc)
+    | _ -> error st "expected 'import', 'def' or a role entry statement"
+  in
+  go []
+
+let parse_result ?resolve_literal src =
+  match parse ?resolve_literal src with
+  | rolefile -> Ok rolefile
+  | exception Parse_error (msg, line) -> Error (Printf.sprintf "parse error: %s (line %d)" msg line)
+  | exception Lexer.Lex_error (msg, line) ->
+      Error (Printf.sprintf "lexical error: %s (line %d)" msg line)

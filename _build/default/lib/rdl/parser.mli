@@ -1,0 +1,22 @@
+(** Recursive-descent parser for RDL (grammar in {!Ast}). *)
+
+exception Parse_error of string * int  (** message, line *)
+
+val parse :
+  ?resolve_literal:(string -> Value.t option) ->
+  string ->
+  Ast.rolefile
+(** Parse a rolefile from source text.
+
+    [resolve_literal] is the table of parse functions consulted for object
+    literals written as bare identifiers (§3.2.1): an identifier in argument
+    or expression position that the table maps to a value is read as that
+    literal (e.g. [DOC] in the shared-authorship example); otherwise it is a
+    variable.  Literals may also be written explicitly as [@typename"id"].
+
+    Raises {!Parse_error} or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_result :
+  ?resolve_literal:(string -> Value.t option) ->
+  string ->
+  (Ast.rolefile, string) result

@@ -1,0 +1,101 @@
+(** Pretty printer producing concrete RDL syntax that re-parses to the same
+    AST (round-trip property tested in [test/test_rdl.ml]). *)
+
+open Ast
+
+let pp_arg ppf = function
+  | Avar v -> Format.pp_print_string ppf v
+  | Alit (Value.Obj (ty, id)) -> Format.fprintf ppf "@%s%S" ty id
+  | Alit v -> Value.pp ppf v
+
+let pp_args ppf = function
+  | [] -> ()
+  | args ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_arg)
+        args
+
+let pp_role_ref ppf r =
+  (match r.sref with
+  | { service = Some s; rolefile = Some rf } -> Format.fprintf ppf "%s[%s]." s rf
+  | { service = Some s; rolefile = None } -> Format.fprintf ppf "%s." s
+  | { service = None; _ } -> ());
+  Format.fprintf ppf "%s%a%s" r.role pp_args r.ref_args (if r.starred then "*" else "")
+
+let string_of_relop = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr ppf = function
+  | Elit (Value.Obj (ty, id)) -> Format.fprintf ppf "@%s%S" ty id
+  | Elit v -> Value.pp ppf v
+  | Evar v -> Format.pp_print_string ppf v
+  | Ecall (name, args) ->
+      Format.fprintf ppf "%s(%a)" name
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ") pp_expr)
+        args
+
+(* Precedence levels: or = 0, and = 1, not/atom = 2.  Parenthesise when a
+   lower-precedence construct appears in a higher-precedence position. *)
+let rec pp_constr_prec level ppf c =
+  let paren needed body =
+    if needed then Format.fprintf ppf "(%t)" body else body ppf
+  in
+  match c with
+  | Cor (a, b) ->
+      paren (level > 0) (fun ppf ->
+          Format.fprintf ppf "%a or %a" (pp_constr_prec 1) a (pp_constr_prec 0) b)
+  | Cand (a, b) ->
+      paren (level > 1) (fun ppf ->
+          Format.fprintf ppf "%a and %a" (pp_constr_prec 2) a (pp_constr_prec 1) b)
+  | Cnot c -> Format.fprintf ppf "not %a" (pp_constr_prec 2) c
+  | Cstar ((Crel _ | Cin _ | Csubset _ | Ccall _ | Cbind _) as atom) ->
+      (* Atoms that a bare trailing star can attach to. *)
+      Format.fprintf ppf "%a*" (pp_constr_prec 2) atom
+  | Cstar c -> Format.fprintf ppf "(%a)*" (pp_constr_prec 0) c
+  | Crel (op, a, b) -> Format.fprintf ppf "%a %s %a" pp_expr a (string_of_relop op) pp_expr b
+  | Cin (e, group) -> Format.fprintf ppf "%a in %s" pp_expr e group
+  | Csubset (a, b) -> Format.fprintf ppf "%a subset %a" pp_expr a pp_expr b
+  | Ccall (name, args) -> pp_expr ppf (Ecall (name, args))
+  | Cbind (x, e) -> Format.fprintf ppf "%s <- %a" x pp_expr e
+
+let pp_constr = pp_constr_prec 0
+
+let pp_entry ppf e =
+  let name, args = e.head in
+  Format.fprintf ppf "%s%a <- " name pp_args args;
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " /\\ ")
+    pp_role_ref ppf e.creds;
+  (match e.elector with
+  | Some r ->
+      Format.fprintf ppf "%s<|%s %a"
+        (if e.creds = [] then "" else " ")
+        (if e.elect_starred then "*" else "")
+        pp_role_ref r
+  | None -> ());
+  (match e.revoker with
+  | Some r ->
+      Format.fprintf ppf "%s|>* %a" (if e.creds = [] && e.elector = None then "" else " ") pp_role_ref r
+  | None -> ());
+  match e.constr with
+  | Some c -> Format.fprintf ppf " : %a" pp_constr c
+  | None -> ()
+
+let pp_item ppf = function
+  | Import (service, tyname) -> Format.fprintf ppf "import %s.%s" service tyname
+  | Def d ->
+      Format.fprintf ppf "def %s(%s)" d.decl_name (String.concat ", " d.params);
+      List.iter (fun (p, ty) -> Format.fprintf ppf " %s: %a" p Ty.pp ty) d.param_types
+  | Entry e -> pp_entry ppf e
+
+let pp_rolefile ppf rolefile =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_item ppf rolefile
+
+let to_string rolefile = Format.asprintf "%a" pp_rolefile rolefile
+let entry_to_string e = Format.asprintf "%a" pp_entry e
+let constr_to_string c = Format.asprintf "%a" pp_constr c

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Clock Engine Hashtbl List Oasis_util Stats String

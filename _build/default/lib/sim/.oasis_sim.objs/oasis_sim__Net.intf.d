@@ -1,0 +1,1 @@
+lib/sim/net.mli: Clock Engine Oasis_util Stats

@@ -1,0 +1,66 @@
+type timer = { mutable alive : bool; mutable action : unit -> unit }
+
+type t = { mutable now : float; queue : timer Oasis_util.Pqueue.t }
+
+let create () = { now = 0.0; queue = Oasis_util.Pqueue.create () }
+
+let now t = t.now
+
+let schedule_at t ~at action =
+  let at = if at < t.now then t.now else at in
+  Oasis_util.Pqueue.push t.queue at { alive = true; action }
+
+let schedule t ~delay action = schedule_at t ~at:(t.now +. delay) action
+
+let timer t ~delay action =
+  let at = t.now +. max 0.0 delay in
+  let tm = { alive = true; action } in
+  Oasis_util.Pqueue.push t.queue at tm;
+  tm
+
+let cancel tm =
+  tm.alive <- false;
+  tm.action <- (fun () -> ())
+
+let cancelled tm = not tm.alive
+
+let every t ~period ?jitter action =
+  if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
+  (* The handle returned to the caller is distinct from the queued one-shot
+     timers: cancelling it suppresses all future firings. *)
+  let handle = { alive = true; action = (fun () -> ()) } in
+  let rec arm () =
+    let extra = match jitter with Some j -> j () | None -> 0.0 in
+    schedule t ~delay:(max 0.0 (period +. extra)) (fun () ->
+        if handle.alive then begin
+          action ();
+          if handle.alive then arm ()
+        end)
+  in
+  arm ();
+  handle
+
+let step t =
+  match Oasis_util.Pqueue.pop t.queue with
+  | None -> false
+  | Some (at, tm) ->
+      t.now <- max t.now at;
+      if tm.alive then tm.action ();
+      true
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Oasis_util.Pqueue.peek t.queue with
+    | None ->
+        (match until with Some u when u > t.now -> t.now <- u | _ -> ());
+        continue := false
+    | Some (at, _) -> (
+        match until with
+        | Some u when at > u ->
+            t.now <- u;
+            continue := false
+        | _ -> ignore (step t))
+  done
+
+let pending t = Oasis_util.Pqueue.length t.queue

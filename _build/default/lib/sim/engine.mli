@@ -1,0 +1,38 @@
+(** Discrete-event simulation engine.
+
+    The paper evaluated OASIS on a live testbed; we substitute a deterministic
+    simulator (see DESIGN.md, Substitutions).  Virtual time is a float in
+    seconds.  All services, networks and workloads schedule closures here. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the closure [delay] seconds from now.  Negative delays are clamped to
+    zero (fire this instant, after currently-queued same-time events). *)
+
+val schedule_at : t -> at:float -> (unit -> unit) -> unit
+
+type timer
+(** A cancellable scheduled action. *)
+
+val timer : t -> delay:float -> (unit -> unit) -> timer
+val cancel : timer -> unit
+val cancelled : timer -> bool
+
+val every : t -> period:float -> ?jitter:(unit -> float) -> (unit -> unit) -> timer
+(** Periodic action; cancelling the returned timer stops the series.  If
+    [jitter] is given, its value is added to each period. *)
+
+val step : t -> bool
+(** Execute the next pending event; [false] if the queue is empty. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue, or stop once the next event lies beyond [until]
+    (advancing [now] to [until] in that case). *)
+
+val pending : t -> int

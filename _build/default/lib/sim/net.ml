@@ -1,0 +1,110 @@
+module Prng = Oasis_util.Prng
+
+type latency = Fixed of float | Uniform of float * float | Exponential of float
+
+type host = { addr : int; name : string; clock : Clock.t }
+
+type t = {
+  engine : Engine.t;
+  stats : Stats.t;
+  prng : Prng.t;
+  mutable default_latency : latency;
+  link_latency : (int * int, latency) Hashtbl.t;
+  mutable loss : float;
+  partitions : (int * int, unit) Hashtbl.t;
+  mutable hosts : host list;
+  mutable next_addr : int;
+}
+
+let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
+  {
+    engine;
+    stats = Stats.create ();
+    prng = Prng.create seed;
+    default_latency = latency;
+    link_latency = Hashtbl.create 16;
+    loss = 0.0;
+    partitions = Hashtbl.create 16;
+    hosts = [];
+    next_addr = 0;
+  }
+
+let engine t = t.engine
+let stats t = t.stats
+let prng t = t.prng
+
+let add_host t ?(clock_rate = 1.0) ?(clock_offset = 0.0) name =
+  let host =
+    {
+      addr = t.next_addr;
+      name;
+      clock = Clock.create ~rate:clock_rate ~offset:clock_offset t.engine;
+    }
+  in
+  t.next_addr <- t.next_addr + 1;
+  t.hosts <- host :: t.hosts;
+  host
+
+let host_name h = h.name
+let host_clock h = h.clock
+let host_addr h = h.addr
+let find_host t name = List.find_opt (fun h -> String.equal h.name name) t.hosts
+let set_default_latency t l = t.default_latency <- l
+let set_link_latency t src dst l = Hashtbl.replace t.link_latency (src.addr, dst.addr) l
+
+let set_loss t p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Net.set_loss: probability out of range";
+  t.loss <- p
+
+let partition t a b =
+  Hashtbl.replace t.partitions (a.addr, b.addr) ();
+  Hashtbl.replace t.partitions (b.addr, a.addr) ()
+
+let heal t a b =
+  Hashtbl.remove t.partitions (a.addr, b.addr);
+  Hashtbl.remove t.partitions (b.addr, a.addr)
+
+let partitioned t a b = Hashtbl.mem t.partitions (a.addr, b.addr)
+
+let sample_latency t src dst =
+  let model =
+    match Hashtbl.find_opt t.link_latency (src.addr, dst.addr) with
+    | Some l -> l
+    | None -> t.default_latency
+  in
+  match model with
+  | Fixed d -> d
+  | Uniform (lo, hi) -> Prng.uniform_in t.prng ~lo ~hi
+  | Exponential mean -> 0.001 +. Prng.exponential t.prng ~mean
+
+let account t category size =
+  Stats.incr t.stats category;
+  Stats.add_bytes t.stats category size
+
+let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
+  account t category size;
+  if src.addr = dst.addr then Engine.schedule t.engine ~delay:0.0 action
+  else if partitioned t src dst then Stats.incr t.stats (category ^ ".partitioned")
+  else if t.loss > 0.0 && Prng.float t.prng 1.0 < t.loss then
+    Stats.incr t.stats (category ^ ".lost")
+  else Engine.schedule t.engine ~delay:(sample_latency t src dst) action
+
+let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
+  let done_ = ref false in
+  Engine.schedule t.engine ~delay:timeout (fun () ->
+      if not !done_ then begin
+        done_ := true;
+        Stats.incr t.stats (category ^ ".timeout");
+        k (Error "timeout")
+      end);
+  send t ~category ?size ~src ~dst (fun () ->
+      let result = handler () in
+      send t ~category:(category ^ ".reply") ?size ~src:dst ~dst:src (fun () ->
+          if not !done_ then begin
+            done_ := true;
+            k result
+          end))
+
+let local_call t ?(category = "local") f =
+  Stats.incr t.stats category;
+  f ()

@@ -1,0 +1,60 @@
+(** Simulated network: hosts, latency, loss, partitions and RPC.
+
+    Messages are modelled as delayed closures executed "at" the destination;
+    the network charges latency, applies loss and partitions, and accounts
+    traffic per category in {!Stats}. *)
+
+type t
+
+type latency =
+  | Fixed of float
+  | Uniform of float * float  (** [lo, hi) *)
+  | Exponential of float  (** mean, shifted by a 1ms floor *)
+
+type host
+
+val create : ?seed:int64 -> ?latency:latency -> Engine.t -> t
+val engine : t -> Engine.t
+val stats : t -> Stats.t
+val prng : t -> Oasis_util.Prng.t
+
+val add_host : t -> ?clock_rate:float -> ?clock_offset:float -> string -> host
+val host_name : host -> string
+val host_clock : host -> Clock.t
+val host_addr : host -> int
+val find_host : t -> string -> host option
+
+val set_default_latency : t -> latency -> unit
+
+val set_link_latency : t -> host -> host -> latency -> unit
+(** Override latency on the directed link from the first host to the second. *)
+
+val set_loss : t -> float -> unit
+(** Probability in [\[0,1\]] that any message is silently dropped. *)
+
+val partition : t -> host -> host -> unit
+(** Block traffic in both directions between the two hosts. *)
+
+val heal : t -> host -> host -> unit
+
+val send : t -> ?category:string -> ?size:int -> src:host -> dst:host -> (unit -> unit) -> unit
+(** One-way message: the closure runs at the destination after link latency,
+    unless lost or partitioned. *)
+
+val rpc :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  src:host ->
+  dst:host ->
+  (unit -> ('a, string) result) ->
+  (('a, string) result -> unit) ->
+  unit
+(** Request/response: runs the handler at [dst] after one latency, delivers
+    its result back to [src] after another.  If either leg is lost or the
+    hosts are partitioned, the continuation receives [Error "timeout"] after
+    [timeout] seconds (default 2.0). *)
+
+val local_call : t -> ?category:string -> (unit -> 'a) -> 'a
+(** Same-host invocation: zero latency, still accounted. *)

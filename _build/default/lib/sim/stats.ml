@@ -1,0 +1,35 @@
+type cell = { mutable count : int; mutable bytes : int }
+
+type t = (string, cell) Hashtbl.t
+
+let create () : t = Hashtbl.create 32
+
+let cell t cat =
+  match Hashtbl.find_opt t cat with
+  | Some c -> c
+  | None ->
+      let c = { count = 0; bytes = 0 } in
+      Hashtbl.add t cat c;
+      c
+
+let incr t ?(n = 1) cat =
+  let c = cell t cat in
+  c.count <- c.count + n
+
+let add_bytes t cat n =
+  let c = cell t cat in
+  c.bytes <- c.bytes + n
+
+let count t cat = match Hashtbl.find_opt t cat with Some c -> c.count | None -> 0
+let bytes t cat = match Hashtbl.find_opt t cat with Some c -> c.bytes | None -> 0
+let reset = Hashtbl.reset
+
+let categories t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
+
+let report t = List.map (fun cat -> (cat, count t cat, bytes t cat)) (categories t)
+
+let pp ppf t =
+  List.iter
+    (fun (cat, count, bytes) -> Format.fprintf ppf "%-32s %8d msgs %10d bytes@." cat count bytes)
+    (report t)

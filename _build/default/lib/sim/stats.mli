@@ -1,0 +1,22 @@
+(** Per-category traffic and operation accounting.
+
+    Several experiments (E2, E6, E7, E11 in DESIGN.md) compare message counts
+    and bytes between schemes; every network send and every interesting
+    operation increments a named counter here. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> ?n:int -> string -> unit
+val add_bytes : t -> string -> int -> unit
+val count : t -> string -> int
+val bytes : t -> string -> int
+val reset : t -> unit
+
+val categories : t -> string list
+(** Sorted list of categories seen since the last reset. *)
+
+val report : t -> (string * int * int) list
+(** [(category, count, bytes)] rows, sorted by category. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/signing.ml: List Printf Prng Siphash String

@@ -1,0 +1,1 @@
+lib/util/siphash.ml: Char Int64 Printf Prng String

@@ -1,0 +1,48 @@
+(* Sets here are tiny (roles in a rolefile, rights characters), so a single
+   63-bit word suffices; [singleton] rejects out-of-range elements loudly. *)
+
+type t = int
+
+let max_element = 62
+
+let empty = 0
+
+let check i =
+  if i < 0 || i > max_element then invalid_arg (Printf.sprintf "Bitset: element %d out of range" i)
+
+let singleton i =
+  check i;
+  1 lsl i
+
+let add i s =
+  check i;
+  s lor (1 lsl i)
+
+let remove i s =
+  check i;
+  s land lnot (1 lsl i)
+
+let mem i s = i >= 0 && i <= max_element && s land (1 lsl i) <> 0
+let of_list l = List.fold_left (fun s i -> add i s) empty l
+
+let to_list s =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if mem i s then i :: acc else acc) in
+  go max_element []
+
+let union = ( lor )
+let inter = ( land )
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let equal = Int.equal
+let is_empty s = s = 0
+
+let cardinal s =
+  let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+  go s 0
+
+let compare = Int.compare
+let marshal s = Printf.sprintf "%x" s
+let unmarshal str = int_of_string_opt ("0x" ^ str)
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list s)))

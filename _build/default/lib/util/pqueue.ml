@@ -1,0 +1,66 @@
+type 'a entry = { prio : float; seq : int; value : 'a }
+
+type 'a t = { mutable heap : 'a entry array; mutable size : int; mutable next_seq : int }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let grow q =
+  let cap = max 16 (2 * Array.length q.heap) in
+  let heap = Array.make cap q.heap.(0) in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let push q prio value =
+  let e = { prio; seq = q.next_seq; value } in
+  q.next_seq <- q.next_seq + 1;
+  if q.size = 0 && Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  if q.size = Array.length q.heap then grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  (* Sift up. *)
+  let i = ref (q.size - 1) in
+  while !i > 0 && before q.heap.(!i) q.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(p);
+    q.heap.(p) <- tmp;
+    i := p
+  done
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).prio, q.heap.(0).value)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+        if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = q.heap.(!i) in
+          q.heap.(!i) <- q.heap.(!smallest);
+          q.heap.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done
+    end;
+    Some (top.prio, top.value)
+  end
+
+let to_list q =
+  let entries = Array.sub q.heap 0 q.size in
+  Array.sort (fun a b -> if before a b then -1 else if before b a then 1 else 0) entries;
+  Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)

@@ -1,0 +1,21 @@
+(** Imperative binary-heap priority queue, keyed by float priority with an
+    insertion sequence number for stable FIFO tie-breaking.
+
+    Used by the simulator's event loop and by the aggregation service's
+    two-section queue (fig 6.6). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority v] inserts [v]. Lower priorities pop first; equal
+    priorities pop in insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+val peek : 'a t -> (float * 'a) option
+
+val to_list : 'a t -> (float * 'a) list
+(** Non-destructive snapshot in pop order (O(n log n)). *)

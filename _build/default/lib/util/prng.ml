@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+
+let copy g = { state = g.state }
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g =
+  let seed = bits64 g in
+  { state = mix64 seed }
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Drop to 62 bits so the value is non-negative as a native OCaml int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  r mod bound
+
+let float g bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* Guard against log 0. *)
+  let u = if u <= 0.0 then 1e-12 else u in
+  -. mean *. log u
+
+let uniform_in g ~lo ~hi = lo +. float g (hi -. lo)
+
+let zipf g ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  (* Inverse-CDF sampling over the finite harmonic weights.  [n] is small in
+     our workloads (rooms, files), so O(n) per sample is acceptable; weights
+     are not cached because [s] may vary between calls. *)
+  let total = ref 0.0 in
+  for k = 1 to n do
+    total := !total +. (1.0 /. Float.pow (Float.of_int k) s)
+  done;
+  let target = float g !total in
+  let rec scan k acc =
+    if k > n then n - 1
+    else
+      let acc = acc +. (1.0 /. Float.pow (Float.of_int k) s) in
+      if acc >= target then k - 1 else scan (k + 1) acc
+  in
+  scan 1 0.0
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    All randomness in the simulator flows through an explicit [t] so that
+    every experiment is reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] returns an independent generator. *)
+
+val copy : t -> t
+(** [copy g] duplicates the generator state. *)
+
+val split : t -> t
+(** [split g] derives a new, statistically independent generator from [g],
+    advancing [g]. Used to give each host its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean; used for
+    inter-arrival times of workload generators. *)
+
+val uniform_in : t -> lo:float -> hi:float -> float
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf g ~n ~s] samples a rank in [\[0, n)] from a Zipf distribution with
+    exponent [s] (room/file popularity in workloads). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)

@@ -1,0 +1,77 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key_of_int64s k0 k1 = { k0; k1 }
+
+let key_of_string s =
+  (* Fold the string into two 64-bit lanes with a splitmix-style mixer so that
+     short human-readable secrets still produce full-width keys. *)
+  let g = Prng.create 0x5A17BEEFCAFED00DL in
+  let a = ref (Prng.bits64 g) and b = ref (Prng.bits64 g) in
+  String.iteri
+    (fun i c ->
+      let x = Int64.of_int (Char.code c + (i * 131)) in
+      if i land 1 = 0 then a := Int64.mul (Int64.logxor !a x) 0x100000001B3L
+      else b := Int64.mul (Int64.logxor !b x) 0xC6A4A7935BD1E995L)
+    s;
+  { k0 = !a; k1 = !b }
+
+let rotl x b = Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+(* Read 8 little-endian bytes starting at [off]; the caller guarantees room. *)
+let le64 s off =
+  let b i = Int64.of_int (Char.code (String.unsafe_get s (off + i))) in
+  let ( <| ) x n = Int64.shift_left x n in
+  Int64.logor (b 0)
+    (Int64.logor (b 1 <| 8)
+       (Int64.logor (b 2 <| 16)
+          (Int64.logor (b 3 <| 24)
+             (Int64.logor (b 4 <| 32)
+                (Int64.logor (b 5 <| 40) (Int64.logor (b 6 <| 48) (b 7 <| 56)))))))
+
+let hash { k0; k1 } msg =
+  let v0 = ref (Int64.logxor k0 0x736f6d6570736575L)
+  and v1 = ref (Int64.logxor k1 0x646f72616e646f6dL)
+  and v2 = ref (Int64.logxor k0 0x6c7967656e657261L)
+  and v3 = ref (Int64.logxor k1 0x7465646279746573L) in
+  let sipround () =
+    v0 := Int64.add !v0 !v1;
+    v1 := rotl !v1 13;
+    v1 := Int64.logxor !v1 !v0;
+    v0 := rotl !v0 32;
+    v2 := Int64.add !v2 !v3;
+    v3 := rotl !v3 16;
+    v3 := Int64.logxor !v3 !v2;
+    v0 := Int64.add !v0 !v3;
+    v3 := rotl !v3 21;
+    v3 := Int64.logxor !v3 !v0;
+    v2 := Int64.add !v2 !v1;
+    v1 := rotl !v1 17;
+    v1 := Int64.logxor !v1 !v2;
+    v2 := rotl !v2 32
+  in
+  let len = String.length msg in
+  let nblocks = len / 8 in
+  for i = 0 to nblocks - 1 do
+    let m = le64 msg (i * 8) in
+    v3 := Int64.logxor !v3 m;
+    sipround ();
+    sipround ();
+    v0 := Int64.logxor !v0 m
+  done;
+  (* Final block: remaining bytes plus the length in the top byte. *)
+  let b = ref (Int64.shift_left (Int64.of_int (len land 0xff)) 56) in
+  for i = 0 to (len land 7) - 1 do
+    b := Int64.logor !b (Int64.shift_left (Int64.of_int (Char.code msg.[(nblocks * 8) + i])) (8 * i))
+  done;
+  v3 := Int64.logxor !v3 !b;
+  sipround ();
+  sipround ();
+  v0 := Int64.logxor !v0 !b;
+  v2 := Int64.logxor !v2 0xffL;
+  sipround ();
+  sipround ();
+  sipround ();
+  sipround ();
+  Int64.logxor (Int64.logxor !v0 !v1) (Int64.logxor !v2 !v3)
+
+let hash_hex key msg = Printf.sprintf "%016Lx" (hash key msg)

@@ -1,0 +1,1 @@
+test/test_badge.ml: Alcotest Array List Oasis_badge Oasis_core Oasis_esec Oasis_events Oasis_rdl Oasis_sim Result

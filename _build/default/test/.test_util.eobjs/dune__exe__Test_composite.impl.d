@@ -1,0 +1,1 @@
+test/test_composite.ml: Alcotest List Oasis_events Oasis_rdl

@@ -1,0 +1,1 @@
+test/test_events.ml: Alcotest List Oasis_events Oasis_rdl Oasis_sim Option

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Format Int64 List Oasis_badge Oasis_core Oasis_esec Oasis_events Oasis_rdl Oasis_sim Option QCheck QCheck_alcotest Result String

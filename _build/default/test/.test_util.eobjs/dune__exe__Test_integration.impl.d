@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array List Oasis_badge Oasis_core Oasis_esec Oasis_events Oasis_mssa Oasis_rdl Oasis_sim Option Result

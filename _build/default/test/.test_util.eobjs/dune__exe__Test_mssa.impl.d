@@ -1,0 +1,1 @@
+test/test_mssa.ml: Alcotest List Oasis_core Oasis_mssa Oasis_rdl Oasis_sim Printf Result

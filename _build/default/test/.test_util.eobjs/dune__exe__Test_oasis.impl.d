@@ -1,0 +1,1 @@
+test/test_oasis.ml: Alcotest Array List Oasis_core Oasis_rdl Oasis_util Printf QCheck QCheck_alcotest Result

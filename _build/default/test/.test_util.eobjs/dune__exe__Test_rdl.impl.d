@@ -1,0 +1,1 @@
+test/test_rdl.ml: Alcotest List Oasis_rdl QCheck QCheck_alcotest Result

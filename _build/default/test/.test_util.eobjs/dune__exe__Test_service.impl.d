@@ -1,0 +1,1 @@
+test/test_service.ml: Alcotest List Oasis_core Oasis_rdl Oasis_sim Oasis_util Printf Result

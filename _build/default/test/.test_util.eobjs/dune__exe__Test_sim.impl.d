@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Oasis_sim QCheck QCheck_alcotest

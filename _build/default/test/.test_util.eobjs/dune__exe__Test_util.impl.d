@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Char List Oasis_util QCheck QCheck_alcotest String

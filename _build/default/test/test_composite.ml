@@ -1,0 +1,549 @@
+(* Tests for the composite event language (parser + semantics via the bead
+   machine on Local_io), the global-view baseline and aggregation
+   (§6.4–6.11), including the paper's examples: Enters/Leaves, Together,
+   Trapped, fire alarm and Gehani's squash EndOfPoint. *)
+
+module Composite = Oasis_events.Composite
+module Bead = Oasis_events.Bead
+module Local_io = Oasis_events.Local_io
+module Globalview = Oasis_events.Globalview
+module Aggregate = Oasis_events.Aggregate
+module Event = Oasis_events.Event
+module V = Oasis_rdl.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let parse_ok src =
+  match Composite.parse_result src with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "composite parse failed on %S: %s" src e
+
+(* --- parser --- *)
+
+let test_parse_precedence () =
+  (* $ binds tightest, then -, then |, then ; *)
+  match parse_ok "$A(); B() - C() | D(); E()" with
+  | Composite.Seq (Composite.Whenever _, Composite.Seq (Composite.Or (Composite.Without _, _), _))
+    -> ()
+  | c -> Alcotest.failf "unexpected shape: %s" (Composite.to_string c)
+
+let test_parse_together_example () =
+  (* §6.6: $Seen(A, R); $Seen(B, R) - Seen(A, Rp) *)
+  match parse_ok "$Seen(A, R); $Seen(B, R) - Seen(A, Rp)" with
+  | Composite.Seq (Composite.Whenever (Composite.Base _), Composite.Without (Composite.Whenever _, Composite.Base _, _)) -> ()
+  | c -> Alcotest.failf "together shape: %s" (Composite.to_string c)
+
+let test_parse_trapped_example () =
+  ignore (parse_ok {|Alarm(); (Seen(B) - AllClear()); OwnsBadge(B, P)|})
+
+let test_parse_squash_endofpoint () =
+  (* Gehani's example, §6.6. *)
+  ignore
+    (parse_ok
+       {|$serve(s); (((floor() | wall() | hit(i)) - front())
+         | ($front(); ((floor(); floor()) | front()) - hit(i))
+         | ($hit(i); (floor() | hit(j)) - front())
+         | (hit(s) - hit(i) {i <> s})
+         | ($hit(i); hit(i) - hit(j) {j <> i}))|})
+
+let test_parse_side_expressions () =
+  match parse_ok {|Seen(x, y) {x <> "rjh21"}
+|} with
+  | Composite.Base (_, [ Composite.Scmp (Oasis_rdl.Ast.Ne, Composite.Svar "x", Composite.Slit (V.Str "rjh21")) ]) -> ()
+  | c -> Alcotest.failf "side shape: %s" (Composite.to_string c)
+
+let test_parse_side_assignment_with_now () =
+  match parse_ok "Alarm() {t := @ + 60}" with
+  | Composite.Base (_, [ Composite.Sassign ("t", Composite.Sadd (Composite.Snow, Composite.Slit (V.Int 60))) ]) -> ()
+  | c -> Alcotest.failf "assignment shape: %s" (Composite.to_string c)
+
+let test_parse_delay_parameter () =
+  match parse_ok "A() - B() {Delay = 2}" with
+  | Composite.Without (_, _, { Composite.delay = Some 2.0; probability = None }) -> ()
+  | c -> Alcotest.failf "delay param: %s" (Composite.to_string c)
+
+let test_parse_probability_parameter () =
+  match parse_ok "A() - B() {Probability = 0.9}" with
+  | Composite.Without (_, _, { Composite.probability = Some p; _ }) ->
+      checkb "p = 0.9" true (abs_float (p -. 0.9) < 1e-9)
+  | c -> Alcotest.failf "prob param: %s" (Composite.to_string c)
+
+let test_parse_source_pinned_template () =
+  match parse_ok "P.Finished(27)" with
+  | Composite.Base ({ Event.tsource = Some "P"; tname = "Finished"; _ }, []) -> ()
+  | c -> Alcotest.failf "source pin: %s" (Composite.to_string c)
+
+let test_parse_null () =
+  checkb "null" true (parse_ok "null" = Composite.Null)
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Composite.parse_result src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected error for %S" src)
+    [ "A() -"; "(A()"; "A() {x}"; "; A()"; "A() B()" ]
+
+let test_parse_roundtrip () =
+  List.iter
+    (fun src ->
+      let c = parse_ok src in
+      let printed = Composite.to_string c in
+      let c2 = parse_ok printed in
+      if Composite.to_string c2 <> printed then
+        Alcotest.failf "roundtrip unstable: %s -> %s" src printed)
+    [
+      "$Seen(A, R); $Seen(B, R) - Seen(A, Rp)";
+      "A() | B(); C() - D() {Delay = 1}";
+      "null; A(x) {x > 5}";
+    ]
+
+(* --- bead machine semantics on Local_io --- *)
+
+let detect ?env io comp =
+  let hits = ref [] in
+  let d = Bead.detect io ?env ~start:0.0 (parse_ok comp) ~on_occur:(fun o -> hits := o :: !hits) in
+  (d, hits)
+
+let test_base_first_match_only () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "E(x)" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "E" [ V.Int 1 ]);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "E" [ V.Int 2 ]);
+  checki "single occurrence" 1 (List.length !hits);
+  match !hits with
+  | [ o ] -> checkb "bound first" true (List.assoc "x" o.Bead.env = V.Int 1)
+  | _ -> ()
+
+let test_sequence () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "A(); B()" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "B" []) (* B before A: ignored *);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "A" []);
+  Local_io.set_time l 3.0;
+  ignore (Local_io.signal l "B" []);
+  checki "fires once" 1 (List.length !hits);
+  checkb "at B's time" true ((List.hd !hits).Bead.at = 3.0)
+
+let test_sequence_var_flow () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "OwnsBadge(u, b); Seen(b, r)" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "OwnsBadge" [ V.Str "rjh"; V.Int 12 ]);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "Seen" [ V.Int 99; V.Str "T1" ]) (* wrong badge *);
+  Local_io.set_time l 3.0;
+  ignore (Local_io.signal l "Seen" [ V.Int 12; V.Str "T2" ]);
+  checki "one" 1 (List.length !hits);
+  checkb "room bound" true (List.assoc "r" (List.hd !hits).Bead.env = V.Str "T2")
+
+let test_or_both_branches () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "A() | B()" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "A" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "B" []);
+  checki "both fire" 2 (List.length !hits)
+
+let test_whenever_repeats () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "$E(x)" in
+  for i = 1 to 5 do
+    Local_io.set_time l (float_of_int i);
+    ignore (Local_io.signal l "E" [ V.Int i ])
+  done;
+  checki "five occurrences" 5 (List.length !hits);
+  (* And each with its own binding (§6.4.2: unlike Kleene star). *)
+  let xs = List.rev_map (fun o -> List.assoc "x" o.Bead.env) !hits in
+  checkb "distinct bindings" true (xs = [ V.Int 1; V.Int 2; V.Int 3; V.Int 4; V.Int 5 ])
+
+let test_whenever_null_terminates () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "$null" in
+  checki "least solution: one occurrence" 1 (List.length !hits)
+
+let test_without_blocks () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "A() - B()" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "B" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "A" []);
+  Local_io.set_time l 3.0;
+  checki "blocked by earlier B" 0 (List.length !hits)
+
+let test_without_fires () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "A() - B()" in
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "A" []);
+  Local_io.set_time l 3.0;
+  checki "fires when no B" 1 (List.length !hits)
+
+let test_without_waits_for_horizon () =
+  (* A and B come from different sources; B's source is delayed.  The
+     candidate must be held until B's horizon passes its stamp (§6.8.2). *)
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "src1.A() - src2.B()" in
+  Local_io.hold_horizon l "src2";
+  ignore (Local_io.signal l ~source:"src2" ~stamp:0.0 "B" []) (* establish source, old stamp *);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l ~source:"src1" "A" []);
+  Local_io.set_time l 3.0;
+  checki "held while src2 horizon frozen" 0 (List.length !hits);
+  (* A late B arrives with stamp before A: candidate must die. *)
+  ignore (Local_io.signal l ~source:"src2" ~stamp:1.5 "B" []);
+  Local_io.release_horizon l "src2";
+  Local_io.set_time l 4.0;
+  checki "late blocker kills candidate" 0 (List.length !hits)
+
+let test_without_horizon_release_fires () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "src1.A() - src2.B()" in
+  Local_io.hold_horizon l "src2";
+  ignore (Local_io.signal l ~source:"src2" ~stamp:0.0 "B" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l ~source:"src1" "A" []);
+  checki "held" 0 (List.length !hits);
+  Local_io.release_horizon l "src2";
+  Local_io.set_time l 3.0;
+  checki "released when horizon catches up" 1 (List.length !hits)
+
+let test_without_delay_parameter () =
+  (* §6.8.3: Delay=d trades correctness for latency — assume absence after
+     d seconds even without horizon knowledge. *)
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "src1.A() - src2.B() {Delay = 1}" in
+  Local_io.hold_horizon l "src2";
+  ignore (Local_io.signal l ~source:"src2" ~stamp:0.0 "B" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l ~source:"src1" "A" []);
+  checki "held initially" 0 (List.length !hits);
+  Local_io.set_time l 3.5 (* > 2.0 + Delay *);
+  checki "assumed absent after delay" 1 (List.length !hits)
+
+let test_side_expression_filters () =
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) {|$Withdraw(z) {z > 500}|} in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "Withdraw" [ V.Int 100 ]);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "Withdraw" [ V.Int 600 ]);
+  checki "only large" 1 (List.length !hits)
+
+let test_initial_env_constrains () =
+  let l = Local_io.create () in
+  let hits = ref [] in
+  let _ =
+    Bead.detect (Local_io.io l) ~env:[ ("b", V.Int 12) ] ~start:0.0 (parse_ok "Seen(b, r)")
+      ~on_occur:(fun o -> hits := o :: !hits)
+  in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "Seen" [ V.Int 99; V.Str "x" ]);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "Seen" [ V.Int 12; V.Str "y" ]);
+  checki "only env-matching" 1 (List.length !hits)
+
+let test_enters_example () =
+  (* §6.6 Enters: $Seen(B, Rp); Seen(B, R) - Seen(B, Rp).
+     We drive it with one badge: T14, T14, T15 — entering fires for the
+     first sighting in a new room only. *)
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "$Seen(B, Rp); Seen(B, R) - Seen(B, Rp)" in
+  let sight t room =
+    Local_io.set_time l t;
+    ignore (Local_io.signal l "Seen" [ V.Int 7; V.Str room ])
+  in
+  sight 1.0 "T14";
+  sight 2.0 "T14";
+  sight 3.0 "T15";
+  Local_io.set_time l 4.0;
+  (* Occurrences where R <> Rp: the T14->T15 transition; staying in T14
+     blocks via the without. *)
+  let moves =
+    List.filter
+      (fun o ->
+        List.assoc "R" o.Bead.env <> List.assoc "Rp" o.Bead.env)
+      !hits
+  in
+  checkb "detected entry to T15" true
+    (List.exists (fun o -> List.assoc "R" o.Bead.env = V.Str "T15") moves)
+
+let test_together_example () =
+  (* fig 6.4 scenario: Roger and Giles both seen in T14. *)
+  let l = Local_io.create () in
+  let _, hits = detect (Local_io.io l) "$Seen(A, R); $Seen(B, R) - Seen(A, Rp)" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "Seen" [ V.Str "roger"; V.Str "T14" ]);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "Seen" [ V.Str "giles"; V.Str "T14" ]);
+  Local_io.set_time l 3.0;
+  checkb "together detected" true
+    (List.exists
+       (fun o ->
+         List.assoc_opt "A" o.Bead.env = Some (V.Str "roger")
+         && List.assoc_opt "B" o.Bead.env = Some (V.Str "giles"))
+       !hits)
+
+let test_stop_kills_beads () =
+  let l = Local_io.create () in
+  let d, hits = detect (Local_io.io l) "$E()" in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "E" []);
+  checki "one" 1 (List.length !hits);
+  Bead.stop d;
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "E" []);
+  checki "stopped" 1 (List.length !hits);
+  checki "no live beads" 0 (Bead.live_beads d)
+
+(* --- global view baseline (fig 6.4) --- *)
+
+let test_globalview_blocks_on_slow_source () =
+  (* Two meetings; source for room T14 delayed.  The independent (bead)
+     detector reports the T15 meeting immediately; the global-view detector
+     cannot report anything until the delayed source catches up. *)
+  let run detector_wrap =
+    let l = Local_io.create () in
+    let io = detector_wrap (Local_io.io l) in
+    let hits = ref [] in
+    let _ =
+      Bead.detect io ~start:0.0 (parse_ok "$s15.Seen(A, R); $s15.Seen(B, R) - s15.Seen(A, Rp)")
+        ~on_occur:(fun o -> hits := (o, Local_io.now l) :: !hits)
+    in
+    Local_io.hold_horizon l "s14";
+    ignore (Local_io.signal l ~source:"s14" ~stamp:0.1 "Ping" []) (* make s14 known + frozen *);
+    Local_io.set_time l 1.0;
+    ignore (Local_io.signal l ~source:"s15" "Seen" [ V.Str "roger"; V.Str "T15" ]);
+    Local_io.set_time l 2.0;
+    ignore (Local_io.signal l ~source:"s15" "Seen" [ V.Str "giles"; V.Str "T15" ]);
+    Local_io.set_time l 3.0;
+    let detected_by_3 = List.length !hits in
+    Local_io.release_horizon l "s14";
+    Local_io.set_time l 4.0;
+    (detected_by_3, List.length !hits)
+  in
+  let bead_now, bead_final = run (fun io -> io) in
+  let gv_now, gv_final = run Globalview.wrap in
+  checkb "bead machine detects despite delayed source" true (bead_now >= 1);
+  checki "global view blocked until release" 0 gv_now;
+  checkb "both eventually agree" true (bead_final >= 1 && gv_final >= 1)
+
+(* --- aggregation --- *)
+
+let test_aggregate_count () =
+  let l = Local_io.create () in
+  let prog =
+    Aggregate.count_program ~expr:"$Deposit(x)" ~until:"Close()" ~signal:"Total"
+  in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun name args ->
+        signalled := (name, args) :: !signalled)
+  in
+  for i = 1 to 4 do
+    Local_io.set_time l (float_of_int i);
+    ignore (Local_io.signal l "Deposit" [ V.Int (10 * i) ])
+  done;
+  Local_io.set_time l 5.0;
+  ignore (Local_io.signal l "Close" []);
+  Local_io.set_time l 6.0;
+  checkb "count signalled" true (List.mem ("Total", [ V.Int 4 ]) !signalled)
+
+let test_aggregate_maximum () =
+  let l = Local_io.create () in
+  let prog =
+    Aggregate.maximum_program ~expr:"$Bid(x)" ~param:"x" ~until:"End()" ~signal:"Highest"
+  in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun n a -> signalled := (n, a) :: !signalled)
+  in
+  List.iteri
+    (fun i v ->
+      Local_io.set_time l (float_of_int (i + 1));
+      ignore (Local_io.signal l "Bid" [ V.Int v ]))
+    [ 5; 17; 3; 11 ];
+  Local_io.set_time l 10.0;
+  ignore (Local_io.signal l "End" []);
+  checkb "max" true (List.mem ("Highest", [ V.Int 17 ]) !signalled)
+
+let test_aggregate_first_uses_fixed_order () =
+  (* §6.9.1: FIRST must wait for the fixed section — the arrival order can
+     disagree with occurrence order under delay. *)
+  let l = Local_io.create () in
+  let prog = Aggregate.first_program ~expr:"$srcA.A() | $srcB.B()" ~signal:"First" in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun n a -> signalled := (n, a) :: !signalled)
+  in
+  Local_io.hold_horizon l "srcB";
+  ignore (Local_io.signal l ~source:"srcB" ~stamp:0.0 "Boot" []);
+  (* A arrives first in wall time (stamp 2), but B occurred earlier (stamp 1,
+     delayed). *)
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l ~source:"srcA" "A" []);
+  Local_io.set_time l 3.0;
+  checki "not yet decided" 0 (List.length !signalled);
+  ignore (Local_io.signal l ~source:"srcB" ~stamp:1.0 "B" []);
+  Local_io.release_horizon l "srcB";
+  Local_io.set_time l 4.0;
+  checki "exactly one First" 1 (List.length !signalled);
+  (* The winner is the stamp-1 occurrence (1000 ms). *)
+  checkb "chronologically first wins" true (List.mem ("First", [ V.Int 1000 ]) !signalled)
+
+let test_aggregate_program_parse_error () =
+  checkb "missing expr" true
+    (match Aggregate.parse_program "event: x = 1" with
+    | exception Aggregate.Program_error _ -> true
+    | _ -> false)
+
+let test_aggregate_custom_program () =
+  let l = Local_io.create () in
+  let prog =
+    Aggregate.parse_program
+      {|
+int total = 0; int n = 0;
+expr: $Sample(v)
+until: Done()
+event: { total = total + new.v; n = n + 1 }
+end: if (n > 0) signal Mean(total / n)
+|}
+  in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun name args ->
+        signalled := (name, args) :: !signalled)
+  in
+  List.iteri
+    (fun i v ->
+      Local_io.set_time l (float_of_int (i + 1));
+      ignore (Local_io.signal l "Sample" [ V.Int v ]))
+    [ 10; 20; 30 ];
+  Local_io.set_time l 5.0;
+  ignore (Local_io.signal l "Done" []);
+  checkb "mean computed" true (List.mem ("Mean", [ V.Int 20 ]) !signalled)
+
+let test_aggregate_once_arrival_order () =
+  (* §6.11.3: ONCE reports on arrival order — no fixed-section wait. *)
+  let l = Local_io.create () in
+  let prog = Aggregate.once_program ~expr:"$srcA.A() | $srcB.B()" ~signal:"Once" in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun n a -> signalled := (n, a) :: !signalled)
+  in
+  Local_io.hold_horizon l "srcB";
+  ignore (Local_io.signal l ~source:"srcB" ~stamp:0.0 "Boot" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l ~source:"srcA" "A" []);
+  (* Unlike FIRST, ONCE has already decided — even though srcB's horizon is
+     frozen and an earlier B could still arrive. *)
+  checki "decided immediately" 1 (List.length !signalled);
+  ignore (Local_io.signal l ~source:"srcB" ~stamp:1.0 "B" []);
+  Local_io.release_horizon l "srcB";
+  Local_io.set_time l 3.0;
+  checki "still exactly one" 1 (List.length !signalled)
+
+let test_aggregate_var_section_alias () =
+  (* The paper spells the fixed-portion section "var:" (§6.10). *)
+  let l = Local_io.create () in
+  let prog =
+    Aggregate.parse_program
+      {|
+int n = 0;
+expr: $E()
+until: Done()
+var: n = n + 1
+end: signal Fixed(n)
+|}
+  in
+  let signalled = ref [] in
+  let _ =
+    Aggregate.run_program (Local_io.io l) prog ~on_signal:(fun name args ->
+        signalled := (name, args) :: !signalled)
+  in
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l "E" []);
+  Local_io.set_time l 2.0;
+  ignore (Local_io.signal l "E" []);
+  Local_io.set_time l 3.0;
+  ignore (Local_io.signal l "Done" []);
+  checkb "var: section ran per fixed occurrence" true
+    (List.mem ("Fixed", [ V.Int 2 ]) !signalled)
+
+let test_aggregate_queue_length () =
+  let l = Local_io.create () in
+  let agg =
+    Aggregate.aggregate (Local_io.io l) (parse_ok "$srcA.E()")
+      {
+        Aggregate.on_event = (fun _ -> ());
+        on_fixed = (fun _ -> ());
+        on_end = (fun () -> ());
+      }
+  in
+  Local_io.hold_horizon l "srcA";
+  ignore (Local_io.signal l ~source:"srcA" ~stamp:0.0 "Boot" []);
+  Local_io.set_time l 1.0;
+  ignore (Local_io.signal l ~source:"srcA" ~stamp:1.0 "E" []);
+  checkb "queued while horizon frozen" true (Aggregate.queue_length agg >= 1);
+  Local_io.release_horizon l "srcA";
+  checki "drained" 0 (Aggregate.queue_length agg);
+  Aggregate.stop agg
+
+let () =
+  Alcotest.run "composite"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "together example" `Quick test_parse_together_example;
+          Alcotest.test_case "trapped example" `Quick test_parse_trapped_example;
+          Alcotest.test_case "squash EndOfPoint" `Quick test_parse_squash_endofpoint;
+          Alcotest.test_case "side expressions" `Quick test_parse_side_expressions;
+          Alcotest.test_case "side assignment with @" `Quick test_parse_side_assignment_with_now;
+          Alcotest.test_case "delay parameter" `Quick test_parse_delay_parameter;
+          Alcotest.test_case "probability parameter" `Quick test_parse_probability_parameter;
+          Alcotest.test_case "source-pinned template" `Quick test_parse_source_pinned_template;
+          Alcotest.test_case "null" `Quick test_parse_null;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip;
+        ] );
+      ( "beads",
+        [
+          Alcotest.test_case "base first match only" `Quick test_base_first_match_only;
+          Alcotest.test_case "sequence" `Quick test_sequence;
+          Alcotest.test_case "sequence var flow" `Quick test_sequence_var_flow;
+          Alcotest.test_case "or both branches" `Quick test_or_both_branches;
+          Alcotest.test_case "whenever repeats" `Quick test_whenever_repeats;
+          Alcotest.test_case "whenever null terminates" `Quick test_whenever_null_terminates;
+          Alcotest.test_case "without blocks" `Quick test_without_blocks;
+          Alcotest.test_case "without fires" `Quick test_without_fires;
+          Alcotest.test_case "without waits for horizon" `Quick test_without_waits_for_horizon;
+          Alcotest.test_case "without release fires" `Quick test_without_horizon_release_fires;
+          Alcotest.test_case "without delay parameter" `Quick test_without_delay_parameter;
+          Alcotest.test_case "side expression filters" `Quick test_side_expression_filters;
+          Alcotest.test_case "initial env constrains" `Quick test_initial_env_constrains;
+          Alcotest.test_case "Enters example" `Quick test_enters_example;
+          Alcotest.test_case "Together example" `Quick test_together_example;
+          Alcotest.test_case "stop kills beads" `Quick test_stop_kills_beads;
+        ] );
+      ( "globalview",
+        [ Alcotest.test_case "blocks on slow source (fig 6.4)" `Quick test_globalview_blocks_on_slow_source ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "count" `Quick test_aggregate_count;
+          Alcotest.test_case "maximum" `Quick test_aggregate_maximum;
+          Alcotest.test_case "first uses fixed order" `Quick test_aggregate_first_uses_fixed_order;
+          Alcotest.test_case "program parse error" `Quick test_aggregate_program_parse_error;
+          Alcotest.test_case "custom program" `Quick test_aggregate_custom_program;
+          Alcotest.test_case "var: section alias" `Quick test_aggregate_var_section_alias;
+          Alcotest.test_case "once (arrival order)" `Quick test_aggregate_once_arrival_order;
+          Alcotest.test_case "queue length" `Quick test_aggregate_queue_length;
+        ] );
+    ]

@@ -1,0 +1,258 @@
+(* Tests for the discrete-event engine, clocks and the simulated network. *)
+
+module Engine = Oasis_sim.Engine
+module Clock = Oasis_sim.Clock
+module Net = Oasis_sim.Net
+module Stats = Oasis_sim.Stats
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- engine --- *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 2 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo at same instant" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_now_advances () =
+  let e = Engine.create () in
+  let seen = ref 0.0 in
+  Engine.schedule e ~delay:5.5 (fun () -> seen := Engine.now e);
+  Engine.run e;
+  checkf "now at event" 5.5 !seen
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Engine.schedule e ~delay:10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 e;
+  checki "only first fired" 1 !fired;
+  checkf "now clamped to until" 5.0 (Engine.now e);
+  Engine.run e;
+  checki "second fires later" 2 !fired
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := "outer" :: !log;
+      Engine.schedule e ~delay:1.0 (fun () -> log := "inner" :: !log));
+  Engine.run e;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  checkf "time" 2.0 (Engine.now e)
+
+let test_engine_cancel_timer () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let tm = Engine.timer e ~delay:1.0 (fun () -> fired := true) in
+  Engine.cancel tm;
+  Engine.run e;
+  checkb "cancelled timer silent" false !fired;
+  checkb "cancelled" true (Engine.cancelled tm)
+
+let test_engine_every () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let handle = Engine.every e ~period:1.0 (fun () -> incr count) in
+  Engine.run ~until:5.5 e;
+  checki "five periods" 5 !count;
+  Engine.cancel handle;
+  Engine.run ~until:10.0 e;
+  checki "stopped after cancel" 5 !count
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:5.0 (fun () ->
+      Engine.schedule e ~delay:(-3.0) (fun () -> fired := true));
+  Engine.run e;
+  checkb "fired at clamped time" true !fired;
+  checkf "no time travel" 5.0 (Engine.now e)
+
+(* --- clock --- *)
+
+let test_clock_drift () =
+  let e = Engine.create () in
+  let fast = Clock.create ~rate:1.01 e in
+  let slow = Clock.create ~rate:0.99 ~offset:0.5 e in
+  Engine.schedule e ~delay:100.0 (fun () -> ());
+  Engine.run e;
+  checkf "fast clock" 101.0 (Clock.read fast);
+  checkf "slow clock" (99.0 +. 0.5) (Clock.read slow);
+  checkf "true time" 100.0 (Clock.true_time fast)
+
+(* --- stats --- *)
+
+let test_stats_counting () =
+  let s = Stats.create () in
+  Stats.incr s "a";
+  Stats.incr s ~n:4 "a";
+  Stats.add_bytes s "a" 100;
+  checki "count" 5 (Stats.count s "a");
+  checki "bytes" 100 (Stats.bytes s "a");
+  checki "missing" 0 (Stats.count s "zzz");
+  Stats.reset s;
+  checki "after reset" 0 (Stats.count s "a")
+
+(* --- net --- *)
+
+let make_net ?latency () =
+  let e = Engine.create () in
+  let net = Net.create ?latency e in
+  (e, net)
+
+let test_net_send_latency () =
+  let e, net = make_net ~latency:(Net.Fixed 0.25) () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  let arrived = ref 0.0 in
+  Net.send net ~src:a ~dst:b (fun () -> arrived := Engine.now e);
+  Engine.run e;
+  checkf "one hop latency" 0.25 !arrived
+
+let test_net_same_host_instant () =
+  let e, net = make_net ~latency:(Net.Fixed 0.25) () in
+  let a = Net.add_host net "a" in
+  let arrived = ref (-1.0) in
+  Net.send net ~src:a ~dst:a (fun () -> arrived := Engine.now e);
+  Engine.run e;
+  checkf "local delivery" 0.0 !arrived
+
+let test_net_rpc_roundtrip () =
+  let e, net = make_net ~latency:(Net.Fixed 0.1) () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  let got = ref None and at = ref 0.0 in
+  Net.rpc net ~src:a ~dst:b
+    (fun () -> Ok 42)
+    (fun r ->
+      got := Some r;
+      at := Engine.now e);
+  Engine.run ~until:10.0 e;
+  checkb "result" true (!got = Some (Ok 42));
+  checkf "two hops" 0.2 !at
+
+let test_net_partition_blocks () =
+  let e, net = make_net () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.partition net a b;
+  let arrived = ref false in
+  Net.send net ~src:a ~dst:b (fun () -> arrived := true);
+  Engine.run ~until:5.0 e;
+  checkb "blocked" false !arrived;
+  Net.heal net a b;
+  Net.send net ~src:a ~dst:b (fun () -> arrived := true);
+  Engine.run ~until:10.0 e;
+  checkb "healed" true !arrived
+
+let test_net_rpc_timeout_on_partition () =
+  let e, net = make_net () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.partition net a b;
+  let result = ref None in
+  Net.rpc net ~timeout:1.0 ~src:a ~dst:b (fun () -> Ok ()) (fun r -> result := Some r);
+  Engine.run ~until:5.0 e;
+  checkb "timed out" true (!result = Some (Error "timeout"))
+
+let test_net_loss () =
+  let e, net = make_net () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.set_loss net 1.0;
+  let arrived = ref false in
+  Net.send net ~src:a ~dst:b (fun () -> arrived := true);
+  Engine.run ~until:1.0 e;
+  checkb "all lost" false !arrived;
+  checki "loss accounted" 1 (Stats.count (Net.stats net) "msg.lost")
+
+let test_net_loss_bounds () =
+  let _, net = make_net () in
+  Alcotest.check_raises "negative loss" (Invalid_argument "Net.set_loss: probability out of range")
+    (fun () -> Net.set_loss net (-0.1))
+
+let test_net_stats_categories () =
+  let e, net = make_net () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.send net ~category:"foo" ~size:10 ~src:a ~dst:b (fun () -> ());
+  Net.send net ~category:"foo" ~size:20 ~src:a ~dst:b (fun () -> ());
+  Net.send net ~category:"bar" ~src:a ~dst:b (fun () -> ());
+  Engine.run e;
+  checki "foo count" 2 (Stats.count (Net.stats net) "foo");
+  checki "foo bytes" 30 (Stats.bytes (Net.stats net) "foo");
+  checki "bar count" 1 (Stats.count (Net.stats net) "bar")
+
+let test_net_link_latency_override () =
+  let e, net = make_net ~latency:(Net.Fixed 0.1) () in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.set_link_latency net a b (Net.Fixed 2.0);
+  let at = ref 0.0 in
+  Net.send net ~src:a ~dst:b (fun () -> at := Engine.now e);
+  Engine.run e;
+  checkf "slow link" 2.0 !at;
+  let back = ref 0.0 in
+  Net.send net ~src:b ~dst:a (fun () -> back := Engine.now e);
+  Engine.run e;
+  checkf "reverse default" 2.1 !back
+
+let test_net_find_host () =
+  let _, net = make_net () in
+  let a = Net.add_host net "alpha" in
+  checkb "found" true (Net.find_host net "alpha" = Some a);
+  checkb "missing" true (Net.find_host net "beta" = None)
+
+let prop_uniform_latency_in_range =
+  QCheck.Test.make ~name:"uniform latency within bounds" ~count:50 QCheck.unit (fun () ->
+      let e = Engine.create () in
+      let net = Net.create ~latency:(Net.Uniform (0.1, 0.2)) e in
+      let a = Net.add_host net "a" and b = Net.add_host net "b" in
+      let at = ref 0.0 in
+      Net.send net ~src:a ~dst:b (fun () -> at := Engine.now e);
+      Engine.run e;
+      !at >= 0.1 && !at < 0.2)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "run until" `Quick test_engine_until;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "cancel timer" `Quick test_engine_cancel_timer;
+          Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
+        ] );
+      ("clock", [ Alcotest.test_case "drift and offset" `Quick test_clock_drift ]);
+      ("stats", [ Alcotest.test_case "counting" `Quick test_stats_counting ]);
+      ( "net",
+        [
+          Alcotest.test_case "send latency" `Quick test_net_send_latency;
+          Alcotest.test_case "same host instant" `Quick test_net_same_host_instant;
+          Alcotest.test_case "rpc roundtrip" `Quick test_net_rpc_roundtrip;
+          Alcotest.test_case "partition blocks" `Quick test_net_partition_blocks;
+          Alcotest.test_case "rpc timeout" `Quick test_net_rpc_timeout_on_partition;
+          Alcotest.test_case "loss" `Quick test_net_loss;
+          Alcotest.test_case "loss bounds" `Quick test_net_loss_bounds;
+          Alcotest.test_case "stats categories" `Quick test_net_stats_categories;
+          Alcotest.test_case "link latency override" `Quick test_net_link_latency_override;
+          Alcotest.test_case "find host" `Quick test_net_find_host;
+          qt prop_uniform_latency_in_range;
+        ] );
+    ]
