@@ -120,7 +120,10 @@ let sight t ~badge ~home ~room =
     match Hashtbl.find_opt directory home with
     | None -> ()
     | Some home_site ->
-        Net.rpc t.s_net ~category:"badge.intersite" ~src:t.s_host ~dst:home_site.s_host
+        (* Reliable: a lost lookup would leave the badge anonymous here
+           until it moves again.  [badge_arrived_at_home] is idempotent
+           for a repeated (badge, at_site) pair, so retries are safe. *)
+        Net.rpc_retry t.s_net ~category:"badge.intersite" ~src:t.s_host ~dst:home_site.s_host
           (fun () -> badge_arrived_at_home home_site ~badge ~at_site:t.s_name)
           (function
             | Ok user ->

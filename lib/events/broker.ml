@@ -4,12 +4,24 @@ module Clock = Oasis_sim.Clock
 
 type delivery = { d_seq : int; d_items : (int * Event.t) list; d_horizon : float }
 
+(* Client-side registration state.  The template is kept so the session can
+   re-register after a reconnection; [cr_last_seen] (the highest event seq
+   processed) makes replayed/retried deliveries exactly-once per
+   registration — server event seqs are monotone and survive crashes. *)
+type creg = {
+  cr_tpl : Event.template;
+  cr_cb : Event.t -> unit;
+  mutable cr_floor : float;  (* replay floor: original ~since, or horizon at registration *)
+  mutable cr_last_seen : int;
+}
+
 type session = {
   s_net : Net.t;
   s_host : Net.host;
   s_server : server;
+  s_creds : string list;
   mutable s_id : int;
-  mutable s_callbacks : (int * (Event.t -> unit)) list;
+  mutable s_callbacks : (int * creg) list;
   mutable s_horizon : float;
   mutable s_last_seq : int;  (* last in-order delivery seq processed *)
   s_pending : (int, delivery) Hashtbl.t;  (* held out-of-order deliveries *)
@@ -25,6 +37,8 @@ type session = {
   mutable s_on_horizon : (float -> unit) list;
   mutable s_on_stale : (bool -> unit) list;
   mutable s_closed : bool;
+  mutable s_reconnecting : bool;
+  mutable s_stale_timer : Engine.timer option;
   mutable s_next_reg : int;
 }
 
@@ -56,6 +70,8 @@ and server = {
   mutable b_reg_filter : credentials:string list -> Event.template -> Event.template option;
   mutable b_next_session : int;
   b_creds : (int, string list) Hashtbl.t;  (* session id -> credentials *)
+  mutable b_hb_timer : Engine.timer option;
+  mutable b_stopped : bool;
 }
 
 type registration = {
@@ -88,35 +104,54 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
       b_reg_filter = (fun ~credentials:_ tpl -> Some tpl);
       b_next_session = 0;
       b_creds = Hashtbl.create 8;
+      b_hb_timer = None;
+      b_stopped = false;
     }
   in
+  (* A host crash loses the server's volatile state: live sessions and
+     their delivery buffers.  The retained-event log models stable storage
+     and survives, as do the monotone event-seq / session-id / stamp
+     counters (a restart must not reuse identifiers still held by old
+     clients). *)
+  Net.on_crash net host (fun () ->
+      srv.b_sessions <- [];
+      Hashtbl.reset srv.b_creds);
   (* Heartbeats to every live session. *)
   let engine = Net.engine net in
-  ignore
-    (Engine.every engine ~period:heartbeat (fun () ->
-         let horizon = Clock.read (Net.host_clock host) -. srv.b_horizon_lag in
-         List.iter
-           (fun ss ->
-             if ss.ss_live then begin
-               (* A server drops a client that has not acknowledged for a
-                  long period (§4.10: "can assume that it is no longer
-                  running"). *)
-               ss.ss_missed_acks <- ss.ss_missed_acks + 1;
-               if ss.ss_missed_acks > 8 * srv.b_ack_every then begin
-                 ss.ss_live <- false;
-                 srv.b_sessions <- List.filter (fun s -> s != ss) srv.b_sessions
-               end
-               else
-                 let client = ss.ss_client in
-                 let upto = ss.ss_seq - 1 in
-                 Net.send net ~category:"evt.heartbeat" ~size:24 ~src:host ~dst:ss.ss_host
-                   (fun () -> client_heartbeat client horizon upto)
-             end)
-           srv.b_sessions));
+  srv.b_hb_timer <-
+    Some
+      (Engine.every engine ~period:heartbeat (fun () ->
+           if (not srv.b_stopped) && Net.host_up net host then
+             let horizon = Clock.read (Net.host_clock host) -. srv.b_horizon_lag in
+             List.iter
+               (fun ss ->
+                 if ss.ss_live then begin
+                   (* A server drops a client that has not acknowledged for a
+                      long period (§4.10: "can assume that it is no longer
+                      running"). *)
+                   ss.ss_missed_acks <- ss.ss_missed_acks + 1;
+                   if ss.ss_missed_acks > 8 * srv.b_ack_every then begin
+                     ss.ss_live <- false;
+                     srv.b_sessions <- List.filter (fun s -> s != ss) srv.b_sessions
+                   end
+                   else
+                     let client = ss.ss_client in
+                     let sid = ss.ss_id in
+                     let upto = ss.ss_seq - 1 in
+                     Net.send net ~category:"evt.heartbeat" ~size:24 ~src:host ~dst:ss.ss_host
+                       (fun () -> client_heartbeat client sid horizon upto)
+                 end)
+               srv.b_sessions));
   srv
 
-and client_heartbeat s horizon upto =
-  if not s.s_closed then begin
+(* Traffic from a superseded server-side incarnation (the client has since
+   reconnected, or a reconnect it never heard about succeeded server-side)
+   must not touch the current stream: sequence numbers restart per
+   incarnation, so mixing them would corrupt gap detection and ack
+   pruning.  Both heartbeats and deliveries therefore carry the session id
+   they were emitted for, and the client drops mismatches. *)
+and client_heartbeat s sid horizon upto =
+  if (not s.s_closed) && sid = s.s_id then begin
     rx s;
     s.s_hb_seen <- s.s_hb_seen + 1;
     if s.s_last_seq >= upto then advance_horizon s horizon
@@ -129,13 +164,13 @@ and client_heartbeat s horizon upto =
       let srv = s.s_server in
       let from = s.s_last_seq + 1 in
       Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
-          server_nack srv s.s_id from)
+          server_nack srv sid from)
     end;
     if s.s_hb_seen mod s.s_server.b_ack_every = 0 then
       let last = s.s_last_seq in
       let srv = s.s_server in
       Net.send s.s_net ~category:"evt.ack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
-          server_ack srv s.s_id last)
+          server_ack srv sid last)
   end
 
 and rx s =
@@ -145,9 +180,10 @@ and rx s =
     List.iter (fun f -> f false) s.s_on_stale;
     (* Resynchronise: ask the server to resend anything we missed. *)
     let srv = s.s_server in
+    let sid = s.s_id in
     let from = s.s_last_seq + 1 in
     Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
-        server_nack srv s.s_id from)
+        server_nack srv sid from)
   end
 
 and advance_horizon s h =
@@ -178,11 +214,11 @@ and server_nack srv sid from =
           let d = Hashtbl.find ss.ss_buffer seq in
           let client = ss.ss_client in
           Net.send srv.b_net ~category:"evt.resend" ~size:(64 * List.length d.d_items)
-            ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client d))
+            ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client ss.ss_id d))
         (List.sort Int.compare seqs)
 
-and client_deliver s d =
-  if not s.s_closed then begin
+and client_deliver s sid d =
+  if (not s.s_closed) && sid = s.s_id then begin
     rx s;
     if d.d_seq <= s.s_last_seq then () (* duplicate *)
     else if d.d_seq = s.s_last_seq + 1 then begin
@@ -215,7 +251,7 @@ and client_deliver s d =
       let srv = s.s_server in
       let from = s.s_last_seq + 1 in
       Net.send s.s_net ~category:"evt.nack" ~size:16 ~src:s.s_host ~dst:srv.b_host (fun () ->
-          server_nack srv s.s_id from)
+          server_nack srv sid from)
     end
   end
 
@@ -224,7 +260,14 @@ and process_delivery s d =
   List.iter
     (fun (reg_id, event) ->
       match List.assoc_opt reg_id s.s_callbacks with
-      | Some cb -> cb event
+      | Some cr ->
+          (* Event seqs are monotone per server and survive restarts, so
+             this suppresses duplicates introduced by retries, re-sent
+             registrations and reconnection replays. *)
+          if event.Event.seq > cr.cr_last_seen then begin
+            cr.cr_last_seen <- event.Event.seq;
+            cr.cr_cb event
+          end
       | None -> () (* deregistered while in flight *))
     d.d_items
 
@@ -251,7 +294,7 @@ let push_delivery srv ss items =
   Hashtbl.replace ss.ss_buffer d.d_seq d;
   let client = ss.ss_client in
   Net.send srv.b_net ~category:"evt.deliver" ~size:(48 + (64 * List.length items))
-    ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client d)
+    ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client ss.ss_id d)
 
 let signal srv ?stamp name params =
   let stamp =
@@ -284,86 +327,61 @@ let signal srv ?stamp name params =
 
 (* --- client operations --- *)
 
-let connect net host srv ?(credentials = []) ~on_result () =
-  let session =
-    {
-      s_net = net;
-      s_host = host;
-      s_server = srv;
-      s_id = -1;
-      s_callbacks = [];
-      s_horizon = neg_infinity;
-      s_last_seq = -1;
-      s_pending = Hashtbl.create 4;
-      s_stale = false;
-      s_last_rx = Engine.now (Net.engine net);
-      s_hb_seen = 0;
-      s_stash_horizon = neg_infinity;
-      s_stash_upto = -1;
-      s_on_horizon = [];
-      s_on_stale = [];
-      s_closed = false;
-      s_next_reg = 0;
-    }
-  in
-  Net.rpc net ~category:"evt.connect" ~size:(64 + (16 * List.length credentials)) ~src:host
-    ~dst:srv.b_host
-    (fun () ->
-      if not (srv.b_admission ~credentials) then Error "admission denied"
-      else begin
-        let id = srv.b_next_session in
-        srv.b_next_session <- id + 1;
-        Hashtbl.replace srv.b_creds id credentials;
-        let ss =
-          {
-            ss_id = id;
-            ss_client = session;
-            ss_host = host;
-            ss_regs = [];
-            ss_seq = 0;
-            ss_buffer = Hashtbl.create 16;
-            ss_acked = -1;
-            ss_missed_acks = 0;
-            ss_live = true;
-          }
-        in
-        srv.b_sessions <- ss :: srv.b_sessions;
-        Ok id
-      end)
-    (fun result ->
-      match result with
-      | Error e -> on_result (Error e)
-      | Ok id ->
-          session.s_id <- id;
-          (* Staleness detector: a local timer, needing no server traffic. *)
-          let engine = Net.engine net in
-          ignore
-            (Engine.every engine ~period:(srv.b_heartbeat /. 2.0) (fun () ->
-                 if (not session.s_closed) && not session.s_stale then
-                   if Engine.now engine -. session.s_last_rx > 1.5 *. srv.b_heartbeat then begin
-                     session.s_stale <- true;
-                     List.iter (fun f -> f true) session.s_on_stale
-                   end));
-          on_result (Ok session))
-
 let find_sess srv sid = List.find_opt (fun ss -> ss.ss_id = sid) srv.b_sessions
 
-let register session ?since tpl callback =
-  let reg_id = session.s_next_reg in
-  session.s_next_reg <- reg_id + 1;
-  session.s_callbacks <- (reg_id, callback) :: session.s_callbacks;
+(* Server-side session establishment, shared by first connects and
+   reconnections.  [replacing] cleans up the caller's previous incarnation
+   so a reconnect after a network (rather than server) failure does not
+   leave a zombie session accumulating missed acks. *)
+let attach srv ~host ~credentials ~session ?replacing () =
+  if srv.b_stopped then Error "server stopped"
+  else if not (srv.b_admission ~credentials) then Error "admission denied"
+  else begin
+    (match replacing with
+    | Some old ->
+        srv.b_sessions <- List.filter (fun ss -> ss.ss_id <> old) srv.b_sessions;
+        Hashtbl.remove srv.b_creds old
+    | None -> ());
+    let id = srv.b_next_session in
+    srv.b_next_session <- id + 1;
+    Hashtbl.replace srv.b_creds id credentials;
+    let ss =
+      {
+        ss_id = id;
+        ss_client = session;
+        ss_host = host;
+        ss_regs = [];
+        ss_seq = 0;
+        ss_buffer = Hashtbl.create 16;
+        ss_acked = -1;
+        ss_missed_acks = 0;
+        ss_live = true;
+      }
+    in
+    srv.b_sessions <- ss :: srv.b_sessions;
+    Ok id
+  end
+
+(* The wire half of registration.  Reliable: a lost registration would
+   leave the session deaf to matching events with nothing downstream to
+   notice, so it rides [rpc_retry].  The handler is idempotent at the
+   server (a re-sent registration replaces, not duplicates) and client-side
+   duplicate suppression makes any resulting replay exactly-once, so
+   retries are safe. *)
+let send_register session ?since reg_id tpl =
   let srv = session.s_server in
   let sid = session.s_id in
-  Net.send session.s_net ~category:"evt.register" ~size:96 ~src:session.s_host ~dst:srv.b_host
+  Net.rpc_retry session.s_net ~category:"evt.register" ~size:96 ~src:session.s_host
+    ~dst:srv.b_host
     (fun () ->
       match find_sess srv sid with
-      | None -> ()
+      | None -> Ok ()
       | Some ss -> (
           let credentials = Option.value ~default:[] (Hashtbl.find_opt srv.b_creds sid) in
           match srv.b_reg_filter ~credentials tpl with
-          | None -> () (* policy rejected: the client simply never hears events *)
+          | None -> Ok () (* policy rejected: the client simply never hears events *)
           | Some tpl ->
-              ss.ss_regs <- (reg_id, tpl) :: ss.ss_regs;
+              ss.ss_regs <- (reg_id, tpl) :: List.remove_assoc reg_id ss.ss_regs;
               (* Retrospective registration: replay retained matching events
                  from [since] in stamp order (§6.8.1). *)
               (match since with
@@ -379,7 +397,113 @@ let register session ?since tpl callback =
                     |> List.rev
                   in
                   if replay <> [] then
-                    push_delivery srv ss (List.map (fun e -> (reg_id, e)) replay))));
+                    push_delivery srv ss (List.map (fun e -> (reg_id, e)) replay));
+              Ok ()))
+    (fun (_ : (unit, string) result) -> ())
+
+(* Bind the session to a fresh server-side incarnation and re-register
+   everything retrospectively from the last safe horizon, so no retained
+   event is lost across a server crash (§4.10 recovery). *)
+let rebind session id =
+  session.s_id <- id;
+  session.s_last_seq <- -1;
+  Hashtbl.reset session.s_pending;
+  session.s_stash_horizon <- neg_infinity;
+  session.s_stash_upto <- -1;
+  rx session;
+  (* recovery callbacks (e.g. external-record rereads) fired by [rx] *)
+  List.iter
+    (fun (reg_id, cr) ->
+      let since = Float.max cr.cr_floor session.s_horizon in
+      send_register session ~since reg_id cr.cr_tpl)
+    (List.rev session.s_callbacks)
+
+let try_reconnect session =
+  session.s_reconnecting <- true;
+  let srv = session.s_server in
+  let old_id = session.s_id in
+  Net.rpc_retry session.s_net ~category:"evt.reconnect"
+    ~size:(64 + (16 * List.length session.s_creds))
+    ~timeout:srv.b_heartbeat ~attempts:4
+    ~backoff:(srv.b_heartbeat /. 4.0)
+    ~src:session.s_host ~dst:srv.b_host
+    (fun () ->
+      attach srv ~host:session.s_host ~credentials:session.s_creds ~session ~replacing:old_id
+        ())
+    (fun result ->
+      session.s_reconnecting <- false;
+      match result with
+      | Error _ -> () (* still unreachable: the staleness timer tries again *)
+      | Ok id -> if not session.s_closed then rebind session id)
+
+let connect net host srv ?(credentials = []) ~on_result () =
+  let session =
+    {
+      s_net = net;
+      s_host = host;
+      s_server = srv;
+      s_creds = credentials;
+      s_id = -1;
+      s_callbacks = [];
+      s_horizon = neg_infinity;
+      s_last_seq = -1;
+      s_pending = Hashtbl.create 4;
+      s_stale = false;
+      s_last_rx = Engine.now (Net.engine net);
+      s_hb_seen = 0;
+      s_stash_horizon = neg_infinity;
+      s_stash_upto = -1;
+      s_on_horizon = [];
+      s_on_stale = [];
+      s_closed = false;
+      s_reconnecting = false;
+      s_stale_timer = None;
+      s_next_reg = 0;
+    }
+  in
+  Net.rpc net ~category:"evt.connect" ~size:(64 + (16 * List.length credentials)) ~src:host
+    ~dst:srv.b_host
+    (fun () -> attach srv ~host ~credentials ~session ())
+    (fun result ->
+      match result with
+      | Error e -> on_result (Error e)
+      | Ok id ->
+          session.s_id <- id;
+          (* Staleness detector: a local timer, needing no server traffic.
+             Prolonged staleness means the server has probably lost this
+             session (host crash, §4.10): reconnect with backoff and
+             re-register retrospectively from the last horizon. *)
+          let engine = Net.engine net in
+          session.s_stale_timer <-
+            Some
+              (Engine.every engine ~period:(srv.b_heartbeat /. 2.0) (fun () ->
+                   if (not session.s_closed) && Net.host_up net session.s_host then begin
+                     let silent = Engine.now engine -. session.s_last_rx in
+                     if (not session.s_stale) && silent > 1.5 *. srv.b_heartbeat then begin
+                       session.s_stale <- true;
+                       List.iter (fun f -> f true) session.s_on_stale
+                     end;
+                     if
+                       session.s_stale
+                       && (not session.s_reconnecting)
+                       && silent > 3.0 *. srv.b_heartbeat
+                     then try_reconnect session
+                   end));
+          on_result (Ok session))
+
+let register session ?since tpl callback =
+  let reg_id = session.s_next_reg in
+  session.s_next_reg <- reg_id + 1;
+  let cr =
+    {
+      cr_tpl = tpl;
+      cr_cb = callback;
+      cr_floor = (match since with Some s -> s | None -> session.s_horizon);
+      cr_last_seen = -1;
+    }
+  in
+  session.s_callbacks <- (reg_id, cr) :: session.s_callbacks;
+  send_register session ?since reg_id tpl;
   { r_session = session; r_id = reg_id; r_active = true }
 
 let deregister reg =
@@ -414,8 +538,32 @@ let on_staleness session f = session.s_on_stale <- f :: session.s_on_stale
 let close session =
   if not session.s_closed then begin
     session.s_closed <- true;
+    (match session.s_stale_timer with
+    | Some tm ->
+        Engine.cancel tm;
+        session.s_stale_timer <- None
+    | None -> ());
     let srv = session.s_server in
     let sid = session.s_id in
     Net.send session.s_net ~category:"evt.close" ~size:16 ~src:session.s_host ~dst:srv.b_host
       (fun () -> srv.b_sessions <- List.filter (fun ss -> ss.ss_id <> sid) srv.b_sessions)
   end
+
+let shutdown_server srv =
+  if not srv.b_stopped then begin
+    srv.b_stopped <- true;
+    (match srv.b_hb_timer with
+    | Some tm ->
+        Engine.cancel tm;
+        srv.b_hb_timer <- None
+    | None -> ());
+    srv.b_sessions <- [];
+    Hashtbl.reset srv.b_creds
+  end
+
+let server_buffered srv =
+  List.fold_left (fun acc ss -> acc + Hashtbl.length ss.ss_buffer) 0 srv.b_sessions
+
+let server_retained srv =
+  purge_retained srv;
+  Queue.length srv.b_retained

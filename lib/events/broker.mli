@@ -18,7 +18,16 @@
     - {e pre-registration} and {e retrospective registration} (§6.8.1): the
       server retains recent events for a bounded period; a registration with
       [~since] immediately replays retained matching events from that time
-      before going live, closing the registration race. *)
+      before going live, closing the registration race;
+    - {e crash recovery}: a host crash ({!Oasis_sim.Net.crash_host}) wipes
+      the server's volatile per-session delivery state but not its
+      retained-event log (stable storage) or its monotone identifier
+      counters.  A client whose session stays stale for several heartbeat
+      periods assumes the server died, reconnects with backed-off retries,
+      and re-registers every template retrospectively from its last safe
+      horizon — so no retained event is lost, and per-registration
+      duplicate suppression (by monotone event seq) keeps delivery
+      exactly-once across replays. *)
 
 type server
 type session
@@ -61,6 +70,18 @@ val server_horizon : server -> float
 (** Current event-horizon timestamp the server would advertise. *)
 
 val sessions : server -> int
+
+val server_buffered : server -> int
+(** Deliveries sitting in per-session resend buffers, awaiting
+    acknowledgement (pruned by client acks). *)
+
+val server_retained : server -> int
+(** Events currently in the retrospective-registration retention log
+    (after purging expired ones). *)
+
+val shutdown_server : server -> unit
+(** Stop the server: cancels its heartbeat timer (so the simulation can
+    drain), drops all sessions and refuses new connections. *)
 
 (** {1 Client side} *)
 

@@ -295,7 +295,11 @@ let with_peer_session t pl k =
                               match find_service t.sv_registry pl.pl_peer with
                               | None -> ()
                               | Some peer ->
-                                  Net.rpc t.sv_net ~category:"oasis.reread" ~src:t.sv_host
+                                  (* Reliable: recovery often coincides with a
+                                     still-flaky network, and a lost reread
+                                     would leave the record Unknown forever.
+                                     The handler is a pure read (idempotent). *)
+                                  Net.rpc_retry t.sv_net ~category:"oasis.reread" ~src:t.sv_host
                                     ~dst:peer.sv_host
                                     (fun () ->
                                       match Credrec.unmarshal_ref remote_key with
@@ -718,7 +722,14 @@ let validate_credential t (cert : Cert.rmc) k =
         audit t Erroneous ("credential from unknown service " ^ cert.Cert.service);
         k None
     | Some issuer ->
-        Net.rpc t.sv_net ~category:"oasis.validate" ~src:t.sv_host ~dst:issuer.sv_host
+        (* Reliable: a dropped validation reply would reject a perfectly
+           good credential.  [validate_for_peer] is idempotent (the
+           Modified-notification arm is guarded), so retries are safe.  The
+           budget is kept short (~7.5 s worst case): validation gates an
+           entry decision, which must still fail closed promptly when the
+           issuer is genuinely unreachable (§4.2). *)
+        Net.rpc_retry t.sv_net ~category:"oasis.validate" ~attempts:3 ~backoff:0.5
+          ~src:t.sv_host ~dst:issuer.sv_host
           (fun () ->
             match validate_for_peer issuer cert with
             | Ok r -> Ok r

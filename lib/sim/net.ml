@@ -8,6 +8,7 @@ type t = {
   engine : Engine.t;
   stats : Stats.t;
   prng : Prng.t;
+  fault : Fault.t;
   mutable default_latency : latency;
   link_latency : (int * int, latency) Hashtbl.t;
   mutable loss : float;
@@ -17,10 +18,14 @@ type t = {
 }
 
 let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
+  let stats = Stats.create () in
   {
     engine;
-    stats = Stats.create ();
+    stats;
     prng = Prng.create seed;
+    (* The fault plane draws from its own seeded PRNG so chaos schedules
+       are independent of message-level randomness. *)
+    fault = Fault.create ~seed:(Int64.logxor seed 0xFA17L) engine stats;
     default_latency = latency;
     link_latency = Hashtbl.create 16;
     loss = 0.0;
@@ -32,6 +37,7 @@ let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
 let engine t = t.engine
 let stats t = t.stats
 let prng t = t.prng
+let fault t = t.fault
 
 let add_host t ?(clock_rate = 1.0) ?(clock_offset = 0.0) name =
   let host =
@@ -66,6 +72,18 @@ let heal t a b =
 
 let partitioned t a b = Hashtbl.mem t.partitions (a.addr, b.addr)
 
+(* --- host lifecycle (delegated to the fault plane) --- *)
+
+let host_up t h = Fault.up t.fault h.addr
+let crash_host t h = Fault.crash t.fault h.addr
+let restart_host t h = Fault.restart t.fault h.addr
+
+let on_crash t h f =
+  Fault.on_crash t.fault (fun addr -> if addr = h.addr then f ())
+
+let on_restart t h f =
+  Fault.on_restart t.fault (fun addr -> if addr = h.addr then f ())
+
 let sample_latency t src dst =
   let model =
     match Hashtbl.find_opt t.link_latency (src.addr, dst.addr) with
@@ -83,11 +101,22 @@ let account t category size =
 
 let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
   account t category size;
-  if src.addr = dst.addr then Engine.schedule t.engine ~delay:0.0 action
-  else if partitioned t src dst then Stats.incr t.stats (category ^ ".partitioned")
-  else if t.loss > 0.0 && Prng.float t.prng 1.0 < t.loss then
-    Stats.incr t.stats (category ^ ".lost")
-  else Engine.schedule t.engine ~delay:(sample_latency t src dst) action
+  if not (Fault.up t.fault src.addr) then
+    (* A crashed host emits nothing (fail-stop). *)
+    Stats.incr t.stats (category ^ ".dead")
+  else
+    (* Liveness of the destination is re-checked at delivery time, so a
+       message in flight when its destination crashes is lost too. *)
+    let deliver () =
+      if Fault.up t.fault dst.addr then action ()
+      else Stats.incr t.stats (category ^ ".dead")
+    in
+    if src.addr = dst.addr then Engine.schedule t.engine ~delay:0.0 deliver
+    else if partitioned t src dst || not (Fault.link_ok t.fault src.addr dst.addr) then
+      Stats.incr t.stats (category ^ ".partitioned")
+    else if t.loss > 0.0 && Prng.float t.prng 1.0 < t.loss then
+      Stats.incr t.stats (category ^ ".lost")
+    else Engine.schedule t.engine ~delay:(sample_latency t src dst) deliver
 
 let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
   let done_ = ref false in
@@ -100,10 +129,34 @@ let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
   send t ~category ?size ~src ~dst (fun () ->
       let result = handler () in
       send t ~category:(category ^ ".reply") ?size ~src:dst ~dst:src (fun () ->
-          if not !done_ then begin
+          if !done_ then
+            (* The caller already gave up: the server-side effects stand
+               but the answer is discarded.  Experiments need to see how
+               often this happens (retried requests must be idempotent). *)
+            Stats.incr t.stats (category ^ ".late_reply")
+          else begin
             done_ := true;
             k result
           end))
+
+let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(backoff = 0.25)
+    ?(max_backoff = 8.0) ~src ~dst handler k =
+  if attempts < 1 then invalid_arg "Net.rpc_retry: attempts must be >= 1";
+  let rec go n =
+    Stats.incr t.stats (category ^ ".attempt");
+    rpc t ~category ?size ~timeout ~src ~dst handler (function
+      | Error "timeout" when n + 1 < attempts ->
+          (* Exponential backoff with deterministic (seeded) jitter to
+             decorrelate retry storms. *)
+          let base = Float.min max_backoff (backoff *. (2.0 ** float_of_int n)) in
+          let jitter = Prng.uniform_in t.prng ~lo:0.0 ~hi:(base *. 0.25) in
+          Engine.schedule t.engine ~delay:(base +. jitter) (fun () -> go (n + 1))
+      | Error "timeout" ->
+          Stats.incr t.stats (category ^ ".giveup");
+          k (Error "timeout")
+      | result -> k result)
+  in
+  go 0
 
 let local_call t ?(category = "local") f =
   Stats.incr t.stats category;

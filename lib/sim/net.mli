@@ -18,6 +18,11 @@ val engine : t -> Engine.t
 val stats : t -> Stats.t
 val prng : t -> Oasis_util.Prng.t
 
+val fault : t -> Fault.t
+(** The network's fault plane (host crash/restart, link faults, chaos
+    schedules).  Addresses passed to {!Fault} functions are
+    {!host_addr}s; the wrappers below cover the common cases. *)
+
 val add_host : t -> ?clock_rate:float -> ?clock_offset:float -> string -> host
 val host_name : host -> string
 val host_clock : host -> Clock.t
@@ -37,6 +42,22 @@ val partition : t -> host -> host -> unit
 
 val heal : t -> host -> host -> unit
 
+val host_up : t -> host -> bool
+
+val crash_host : t -> host -> unit
+(** Fail-stop the host: it emits and receives nothing until restarted.
+    Messages sent by, in flight to, or addressed to a dead host are
+    dropped and accounted under [category ^ ".dead"].  Subsystems holding
+    volatile state for the host (e.g. the event broker) react through
+    {!on_crash}. *)
+
+val restart_host : t -> host -> unit
+
+val on_crash : t -> host -> (unit -> unit) -> unit
+(** Hook fired when this particular host crashes. *)
+
+val on_restart : t -> host -> (unit -> unit) -> unit
+
 val send : t -> ?category:string -> ?size:int -> src:host -> dst:host -> (unit -> unit) -> unit
 (** One-way message: the closure runs at the destination after link latency,
     unless lost or partitioned. *)
@@ -54,7 +75,32 @@ val rpc :
 (** Request/response: runs the handler at [dst] after one latency, delivers
     its result back to [src] after another.  If either leg is lost or the
     hosts are partitioned, the continuation receives [Error "timeout"] after
-    [timeout] seconds (default 2.0). *)
+    [timeout] seconds (default 2.0).  A reply arriving after the timeout
+    already fired is discarded and counted as [category ^ ".late_reply"]:
+    the server-side effects stand, so handlers driven through retrying
+    callers must be idempotent. *)
+
+val rpc_retry :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?max_backoff:float ->
+  src:host ->
+  dst:host ->
+  (unit -> ('a, string) result) ->
+  (('a, string) result -> unit) ->
+  unit
+(** Reliable RPC: like {!rpc} but timeouts are retried with exponential
+    backoff ([backoff * 2^n], capped at [max_backoff], default 0.25 s/8 s)
+    plus deterministic seeded jitter, up to [attempts] total attempts
+    (default 5); then it gives up and surfaces [Error "timeout"].
+    Application-level errors are not retried.  Each attempt increments
+    [category ^ ".attempt"]; exhausting the budget increments
+    [category ^ ".giveup"].  The handler may run more than once (a lost
+    reply does not mean a lost request), so it must be idempotent. *)
 
 val local_call : t -> ?category:string -> (unit -> 'a) -> 'a
 (** Same-host invocation: zero latency, still accounted. *)

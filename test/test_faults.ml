@@ -1,0 +1,417 @@
+(* Deterministic chaos harness: host crash/restart, reliable RPC with
+   backoff, broker crash-recovery and end-to-end revocation convergence
+   under scripted fault schedules (§4.10).
+
+   Every scenario is driven by seeded PRNGs and virtual time, so a failure
+   reproduces exactly. *)
+
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Fault = Oasis_sim.Fault
+module Stats = Oasis_sim.Stats
+module Event = Oasis_events.Event
+module Broker = Oasis_events.Broker
+module Service = Oasis_core.Service
+module Group = Oasis_core.Group
+module Principal = Oasis_core.Principal
+module V = Oasis_rdl.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- the fault plane itself --- *)
+
+let test_fault_script () =
+  let engine = Engine.create () in
+  let stats = Stats.create () in
+  let f = Fault.create engine stats in
+  Fault.script f [ (1.0, Fault.Crash 0); (2.0, Fault.Restart 0); (1.5, Fault.Link_down (0, 1)) ];
+  let up_at = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at engine ~at:t (fun () -> up_at := (t, Fault.up f 0) :: !up_at))
+    [ 0.5; 1.25; 2.5 ];
+  Engine.schedule_at engine ~at:1.75 (fun () ->
+      checkb "link down while scripted" false (Fault.link_ok f 0 1));
+  Engine.run engine;
+  checkb "up before crash" true (List.assoc 0.5 !up_at);
+  checkb "down between crash and restart" false (List.assoc 1.25 !up_at);
+  checkb "up after restart" true (List.assoc 2.5 !up_at);
+  checki "one crash counted" 1 (Stats.count stats "fault.crash");
+  checki "one restart counted" 1 (Stats.count stats "fault.restart")
+
+let test_fault_chaos_heals_and_repeats () =
+  let run_once () =
+    let engine = Engine.create () in
+    let stats = Stats.create () in
+    let f = Fault.create ~seed:99L engine stats in
+    Fault.chaos f ~hosts:[ 0; 1; 2 ] ~mtbf:3.0 ~mttr:0.5 ~until:20.0;
+    Engine.run ~until:25.0 engine;
+    checkb "all hosts healed by the deadline" true (List.for_all (Fault.up f) [ 0; 1; 2 ]);
+    (Stats.count stats "fault.crash", Stats.count stats "fault.restart")
+  in
+  let c1, r1 = run_once () in
+  let c2, r2 = run_once () in
+  checkb "chaos actually crashed something" true (c1 >= 1);
+  checki "every crash restarted" c1 r1;
+  checkb "same seed, same schedule" true (c1 = c2 && r1 = r2)
+
+let test_send_to_dead_host_accounted () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.crash_host net b;
+  let got = ref false in
+  Net.send net ~category:"probe" ~src:a ~dst:b (fun () -> got := true);
+  Engine.run ~until:1.0 engine;
+  checkb "not delivered" false !got;
+  checki "accounted as dead" 1 (Stats.count (Net.stats net) "probe.dead");
+  Net.restart_host net b;
+  Net.send net ~category:"probe" ~src:a ~dst:b (fun () -> got := true);
+  Engine.run ~until:2.0 engine;
+  checkb "delivered after restart" true !got
+
+(* --- reliable RPC --- *)
+
+let test_rpc_retry_recovers () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.crash_host net b;
+  Engine.schedule_at engine ~at:3.0 (fun () -> Net.restart_host net b);
+  let result = ref None in
+  Net.rpc_retry net ~category:"r" ~src:a ~dst:b (fun () -> Ok "pong") (fun r -> result := Some r);
+  Engine.run ~until:20.0 engine;
+  checkb "eventually succeeds" true (!result = Some (Ok "pong"));
+  let st = Net.stats net in
+  checkb "took more than one attempt" true (Stats.count st "r.attempt" > 1);
+  checki "no giveup" 0 (Stats.count st "r.giveup")
+
+let test_rpc_retry_gives_up () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.crash_host net b;
+  let result = ref None in
+  Net.rpc_retry net ~category:"r" ~src:a ~dst:b (fun () -> Ok ()) (fun r -> result := Some r);
+  Engine.run ~until:60.0 engine;
+  checkb "error surfaced" true (!result = Some (Error "timeout"));
+  let st = Net.stats net in
+  checki "all attempts used" 5 (Stats.count st "r.attempt");
+  checki "one giveup" 1 (Stats.count st "r.giveup")
+
+let test_rpc_no_retry_on_application_error () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  let result = ref None in
+  Net.rpc_retry net ~category:"r" ~src:a ~dst:b
+    (fun () -> Error "denied")
+    (fun r -> result := Some r);
+  Engine.run ~until:10.0 engine;
+  checkb "application error passes through" true (!result = Some (Error "denied"));
+  checki "single attempt" 1 (Stats.count (Net.stats net) "r.attempt")
+
+let test_rpc_late_reply_counted () =
+  let engine = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) engine in
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  (* Slow reply leg only: the request arrives, the reply outlives the
+     timeout.  The caller sees a timeout; the reply is discarded and
+     counted, not delivered twice. *)
+  Net.set_link_latency net b a (Net.Fixed 3.0);
+  let results = ref [] in
+  Net.rpc net ~category:"r" ~timeout:2.0 ~src:a ~dst:b
+    (fun () -> Ok ())
+    (fun r -> results := r :: !results);
+  Engine.run ~until:10.0 engine;
+  checkb "timeout surfaced once" true (!results = [ Error "timeout" ]);
+  checki "late reply counted" 1 (Stats.count (Net.stats net) "r.late_reply")
+
+(* --- broker under faults --- *)
+
+type bworld = {
+  engine : Engine.t;
+  net : Net.t;
+  server_host : Net.host;
+  client_host : Net.host;
+  server : Broker.server;
+}
+
+let make_bworld ?seed ?(heartbeat = 0.3) () =
+  let engine = Engine.create () in
+  let net = Net.create ?seed ~latency:(Net.Fixed 0.01) engine in
+  let server_host = Net.add_host net "server" in
+  let client_host = Net.add_host net "client" in
+  let server = Broker.create_server net server_host ~name:"svc" ~heartbeat () in
+  { engine; net; server_host; client_host; server }
+
+let connect_now w =
+  let session = ref None in
+  Broker.connect w.net w.client_host w.server
+    ~on_result:(function Ok s -> session := Some s | Error e -> Alcotest.failf "connect: %s" e)
+    ();
+  Engine.run ~until:(Engine.now w.engine +. 1.0) w.engine;
+  match !session with Some s -> s | None -> Alcotest.fail "no session"
+
+let run_for w dt = Engine.run ~until:(Engine.now w.engine +. dt) w.engine
+
+let seqs_exactly_once_in_order n seqs =
+  let seqs = List.rev seqs in
+  List.length seqs = n && seqs = List.sort_uniq compare seqs
+
+let test_broker_server_crash_recovery () =
+  let w = make_bworld () in
+  let s = connect_now w in
+  let got = ref [] in
+  let _ = Broker.register s (Event.template "E" [ Event.Any ]) (fun e -> got := e.Event.seq :: !got) in
+  run_for w 0.5;
+  (* Five events delivered live... *)
+  for i = 0 to 4 do
+    ignore (Broker.signal w.server "E" [ V.Int i ]);
+    run_for w 0.1
+  done;
+  run_for w 0.5;
+  checki "live deliveries" 5 (List.length !got);
+  (* ...then the server host dies, taking its volatile sessions with it. *)
+  Net.crash_host w.net w.server_host;
+  run_for w 1.0;
+  Net.restart_host w.net w.server_host;
+  (* Signalled after restart but (possibly) before the client has
+     reconnected: only the retained log holds these. *)
+  for i = 5 to 9 do
+    ignore (Broker.signal w.server "E" [ V.Int i ]);
+    run_for w 0.1
+  done;
+  run_for w 10.0;
+  checkb "zero lost, exactly once, in order" true (seqs_exactly_once_in_order 10 !got);
+  checkb "client reconnected" true (Broker.sessions w.server >= 1)
+
+let crash_loss_scenario seed =
+  let w = make_bworld ~seed ~heartbeat:0.3 () in
+  let s = connect_now w in
+  let got = ref [] in
+  let _ = Broker.register s (Event.template "E" [ Event.Any ]) (fun e -> got := e.Event.seq :: !got) in
+  (* Fault schedule: a lossy window while events are being signalled, then
+     a server crash/restart shortly after. *)
+  Engine.schedule_at w.engine ~at:1.5 (fun () -> Net.set_loss w.net 0.3);
+  Engine.schedule_at w.engine ~at:4.0 (fun () -> Net.set_loss w.net 0.0);
+  Fault.script (Net.fault w.net)
+    [ (5.0, Fault.Crash (Net.host_addr w.server_host));
+      (6.0, Fault.Restart (Net.host_addr w.server_host)) ];
+  for i = 0 to 29 do
+    Engine.schedule_at w.engine ~at:(1.5 +. (0.1 *. float_of_int i)) (fun () ->
+        ignore (Broker.signal w.server "E" [ V.Int i ]))
+  done;
+  Engine.run ~until:40.0 w.engine;
+  checkb "30 events exactly once in order" true (seqs_exactly_once_in_order 30 !got);
+  Stats.report (Net.stats w.net)
+
+let test_broker_exactly_once_under_loss_and_crash () =
+  (* Several seeds must all converge... *)
+  let r7 = crash_loss_scenario 7L in
+  ignore (crash_loss_scenario 8L);
+  ignore (crash_loss_scenario 9L);
+  (* ...and the whole run — every counter of every category — must be
+     bit-identical when replayed with the same seed. *)
+  let r7' = crash_loss_scenario 7L in
+  checkb "same seed replays identically" true (r7 = r7')
+
+let test_broker_nack_resend_and_ack_pruning () =
+  let w = make_bworld ~heartbeat:0.5 () in
+  let s = connect_now w in
+  (* t=1.0 now; heartbeats fire at 0.5, 1.0, 1.5, ... *)
+  let got = ref [] in
+  let _ = Broker.register s (Event.template "E" [ Event.Any ]) (fun e -> got := e.Event.seq :: !got) in
+  run_for w 0.5;
+  (* Delay both legs so that: delivery 0 is severely delayed, delivery 1
+     arrives first (a gap), the heartbeat at t=2.0 beats the nacked resend
+     to the client (stashing its horizon against the open gap), and the
+     resend then fills the gap and releases the stashed horizon. *)
+  Engine.schedule_at w.engine ~at:1.55 (fun () ->
+      Net.set_link_latency w.net w.server_host w.client_host (Net.Fixed 1.0);
+      Net.set_link_latency w.net w.client_host w.server_host (Net.Fixed 0.5));
+  Engine.schedule_at w.engine ~at:1.6 (fun () -> ignore (Broker.signal w.server "E" [ V.Int 0 ]));
+  Engine.schedule_at w.engine ~at:1.7 (fun () ->
+      Net.set_link_latency w.net w.server_host w.client_host (Net.Fixed 0.01));
+  Engine.schedule_at w.engine ~at:1.8 (fun () -> ignore (Broker.signal w.server "E" [ V.Int 1 ]));
+  Engine.schedule_at w.engine ~at:2.1 (fun () ->
+      Net.set_link_latency w.net w.client_host w.server_host (Net.Fixed 0.01));
+  Engine.run ~until:2.4 w.engine;
+  (* The resend triggered by the client's nack filled the gap; the
+     heartbeat horizon (~2.0) stashed while the gap was open must now have
+     been released, even though the last delivery carried only ~1.8. *)
+  checkb "gap filled by resend" true (seqs_exactly_once_in_order 2 !got);
+  checkb "stashed heartbeat horizon released" true (Broker.horizon s >= 1.99);
+  (* The duplicate of delivery 0 (the slow original) lands at ~2.6 and
+     must be suppressed; acks then prune the server's resend buffer. *)
+  Engine.run ~until:8.0 w.engine;
+  checkb "duplicate suppressed" true (seqs_exactly_once_in_order 2 !got);
+  checki "resend buffer pruned by acks" 0 (Broker.server_buffered w.server)
+
+let test_broker_timers_drain () =
+  let w = make_bworld ~heartbeat:0.5 () in
+  let s = connect_now w in
+  let _ = Broker.register s (Event.template "E" [ Event.Any ]) (fun _ -> ()) in
+  run_for w 2.0;
+  ignore (Broker.signal w.server "E" [ V.Int 0 ]);
+  run_for w 2.0;
+  Broker.close s;
+  Broker.shutdown_server w.server;
+  (* Cancelled periodic timers must not re-arm: once in-flight one-shots
+     (rpc timeouts etc.) expire, the queue drains to empty. *)
+  run_for w 30.0;
+  checki "no leaked timers" 0 (Engine.pending w.engine)
+
+(* --- end-to-end: revocation convergence across a service crash --- *)
+
+let login_rolefile = {|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|}
+
+type sworld = {
+  s_engine : Engine.t;
+  s_net : Net.t;
+  s_client_host : Net.host;
+}
+
+let fresh_vci =
+  let host = Principal.Host.create "faultclienthost" in
+  let domain = Principal.Host.boot_domain host in
+  fun () -> Principal.Host.new_vci host domain
+
+let srun w dt = Engine.run ~until:(Engine.now w.s_engine +. dt) w.s_engine
+
+let conference_world ~seed =
+  let engine = Engine.create () in
+  let net = Net.create ~seed ~latency:(Net.Fixed 0.005) engine in
+  let reg = Service.create_registry () in
+  let client_host = Net.add_host net "client" in
+  let mk name rolefile =
+    let host = Net.add_host net ("h." ^ name) in
+    match Service.create net host reg ~name ~rolefile () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "service %s: %s" name e
+  in
+  let login = mk "Login" login_rolefile in
+  let conf =
+    mk "Conf"
+      {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* <|* Chair : (u in staff)*
+|}
+  in
+  ({ s_engine = engine; s_net = net; s_client_host = client_host }, login, conf)
+
+let entry_ok w svc ~client ~role ?creds ?delegation () =
+  let result = ref None in
+  Service.request_entry svc ~client_host:w.s_client_host ~client ~role ?creds ?delegation
+    (fun r -> result := Some r);
+  srun w 2.0;
+  match !result with
+  | Some (Ok c) -> c
+  | Some (Error e) -> Alcotest.failf "entry to %s failed: %s" role e
+  | None -> Alcotest.fail "entry did not complete"
+
+let delegate w svc ~delegator ~using ~role ~required () =
+  let result = ref None in
+  Service.request_delegation svc ~client_host:w.s_client_host ~delegator ~using ~role ~required
+    (fun r -> result := Some r);
+  srun w 2.0;
+  match !result with
+  | Some (Ok dr) -> dr
+  | Some (Error e) -> Alcotest.failf "delegation failed: %s" e
+  | None -> Alcotest.fail "delegation did not complete"
+
+(* The paper's §4.10 bound, under a crash: a revocation that happens while
+   the issuing service's host is down must reach dependent services within
+   a few heartbeat periods of the host coming back.  Returns the
+   convergence delay after the heal. *)
+let revocation_convergence ~seed =
+  let w, login, conf = conference_world ~seed in
+  Group.add (Service.group conf "staff") (V.Str "dm");
+  let jmb = fresh_vci () in
+  let jmb_cert =
+    Service.issue_arbitrary login ~client:jmb ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "jmb"; V.Str "ely" ]
+  in
+  let chair = entry_ok w conf ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let dm = fresh_vci () in
+  let dm_cert =
+    Service.issue_arbitrary login ~client:dm ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "dm"; V.Str "ely" ]
+  in
+  let d, _ =
+    delegate w conf ~delegator:jmb ~using:chair ~role:"Member"
+      ~required:[ ("Login", "LoggedOn", [ V.Str "dm"; V.Str "*" ]) ] ()
+  in
+  let member = entry_ok w conf ~client:dm ~role:"Member" ~creds:[ dm_cert ] ~delegation:d () in
+  srun w 3.0;
+  checkb "valid before the fault" true (Service.validate conf ~client:dm member = Ok ());
+  (* Login's host dies; dm is logged off while it is down.  The Modified
+     event is retained on Login's stable log but every delivery is dropped
+     on the floor. *)
+  Net.crash_host w.s_net (Service.host login);
+  srun w 1.0;
+  Service.revoke_certificate login dm_cert;
+  srun w 2.0;
+  checkb "not validated as ok while issuer down" true
+    (Service.validate conf ~client:dm member <> Ok ());
+  Net.restart_host w.s_net (Service.host login);
+  let healed = Engine.now w.s_engine in
+  let heartbeat = 1.0 (* Service.create default *) in
+  let deadline = healed +. (3.0 *. heartbeat) in
+  let rec poll () =
+    if Service.validate conf ~client:dm member = Error Service.Revoked then
+      Some (Engine.now w.s_engine -. healed)
+    else if Engine.now w.s_engine >= deadline then None
+    else begin
+      srun w 0.05;
+      poll ()
+    end
+  in
+  match poll () with
+  | None -> Alcotest.failf "no convergence within 3 heartbeats (seed %Ld)" seed
+  | Some dt -> dt
+
+let test_revocation_converges_after_crash () =
+  let d1 = revocation_convergence ~seed:11L in
+  let d2 = revocation_convergence ~seed:23L in
+  checkb "bounded for seed 11" true (d1 <= 3.0);
+  checkb "bounded for seed 23" true (d2 <= 3.0);
+  (* Replaying a seed gives the same convergence time to the tick. *)
+  let d1' = revocation_convergence ~seed:11L in
+  checkb "deterministic replay" true (Float.equal d1 d1')
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "fault-plane",
+        [
+          Alcotest.test_case "scripted crash and restart" `Quick test_fault_script;
+          Alcotest.test_case "chaos heals by deadline" `Quick test_fault_chaos_heals_and_repeats;
+          Alcotest.test_case "dead host drops accounted" `Quick test_send_to_dead_host_accounted;
+        ] );
+      ( "reliable-rpc",
+        [
+          Alcotest.test_case "retry recovers" `Quick test_rpc_retry_recovers;
+          Alcotest.test_case "gives up after budget" `Quick test_rpc_retry_gives_up;
+          Alcotest.test_case "application errors pass through" `Quick
+            test_rpc_no_retry_on_application_error;
+          Alcotest.test_case "late reply counted" `Quick test_rpc_late_reply_counted;
+        ] );
+      ( "broker-recovery",
+        [
+          Alcotest.test_case "server crash recovery" `Quick test_broker_server_crash_recovery;
+          Alcotest.test_case "exactly once under loss and crash" `Quick
+            test_broker_exactly_once_under_loss_and_crash;
+          Alcotest.test_case "nack resend, ack pruning, stashed horizon" `Quick
+            test_broker_nack_resend_and_ack_pruning;
+          Alcotest.test_case "timers drain after shutdown" `Quick test_broker_timers_drain;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "revocation within 3 heartbeats of heal" `Quick
+            test_revocation_converges_after_crash;
+        ] );
+    ]
