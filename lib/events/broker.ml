@@ -49,6 +49,7 @@ and sess_srv = {
   mutable ss_regs : (int * Event.template) list;
   mutable ss_seq : int;  (* next delivery stream seq *)
   ss_buffer : (int, delivery) Hashtbl.t;  (* unacked deliveries *)
+  mutable ss_pending : (int * Event.t) list;  (* coalesced, reverse order *)
   mutable ss_acked : int;
   mutable ss_missed_acks : int;
   mutable ss_live : bool;
@@ -70,6 +71,8 @@ and server = {
   mutable b_reg_filter : credentials:string list -> Event.template -> Event.template option;
   mutable b_next_session : int;
   b_creds : (int, string list) Hashtbl.t;  (* session id -> credentials *)
+  b_coalesce : bool;
+  mutable b_on_tick : (unit -> unit) list;
   mutable b_hb_timer : Engine.timer option;
   mutable b_stopped : bool;
 }
@@ -82,11 +85,12 @@ type registration = {
 
 let server_name srv = srv.b_name
 let server_host srv = srv.b_host
+let server_heartbeat srv = srv.b_heartbeat
 let sessions srv = List.length srv.b_sessions
 let session_server s = s.s_server
 
 let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(retention = 10.0)
-    ?(horizon_lag = 0.0) () =
+    ?(horizon_lag = 0.0) ?(coalesce = false) () =
   let srv =
     {
       b_net = net;
@@ -104,6 +108,8 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
       b_reg_filter = (fun ~credentials:_ tpl -> Some tpl);
       b_next_session = 0;
       b_creds = Hashtbl.create 8;
+      b_coalesce = coalesce;
+      b_on_tick = [];
       b_hb_timer = None;
       b_stopped = false;
     }
@@ -116,12 +122,18 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
   Net.on_crash net host (fun () ->
       srv.b_sessions <- [];
       Hashtbl.reset srv.b_creds);
-  (* Heartbeats to every live session. *)
+  (* Heartbeats to every live session.  Tick hooks run first, so payloads
+     they produce (e.g. a service's invalidation digest) are matched into
+     the per-session coalesce buffers and ride this very tick; a session
+     with pending coalesced items then gets ONE message that both delivers
+     the batch and beats the heart, keeping steady-state traffic O(peers)
+     per period rather than O(events). *)
   let engine = Net.engine net in
   srv.b_hb_timer <-
     Some
       (Engine.every engine ~period:heartbeat (fun () ->
-           if (not srv.b_stopped) && Net.host_up net host then
+           if (not srv.b_stopped) && Net.host_up net host then begin
+             List.iter (fun f -> f ()) (List.rev srv.b_on_tick);
              let horizon = Clock.read (Net.host_clock host) -. srv.b_horizon_lag in
              List.iter
                (fun ss ->
@@ -137,11 +149,30 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
                    else
                      let client = ss.ss_client in
                      let sid = ss.ss_id in
-                     let upto = ss.ss_seq - 1 in
-                     Net.send net ~category:"evt.heartbeat" ~size:24 ~src:host ~dst:ss.ss_host
-                       (fun () -> client_heartbeat client sid horizon upto)
+                     match ss.ss_pending with
+                     | [] ->
+                         let upto = ss.ss_seq - 1 in
+                         Net.send net ~category:"evt.heartbeat" ~size:24 ~src:host
+                           ~dst:ss.ss_host (fun () -> client_heartbeat client sid horizon upto)
+                     | pending ->
+                         let items = List.rev pending in
+                         ss.ss_pending <- [];
+                         (* Buffer under the next stream seq exactly like an
+                            immediate delivery, so nack/resend and ack pruning
+                            see nothing unusual. *)
+                         let d = { d_seq = ss.ss_seq; d_items = items; d_horizon = horizon } in
+                         ss.ss_seq <- ss.ss_seq + 1;
+                         Hashtbl.replace ss.ss_buffer d.d_seq d;
+                         let upto = ss.ss_seq - 1 in
+                         Net.send net ~category:"evt.heartbeat"
+                           ~size:(24 + (64 * List.length items))
+                           ~src:host ~dst:ss.ss_host
+                           (fun () ->
+                             client_deliver client sid d;
+                             client_heartbeat client sid horizon upto)
                  end)
-               srv.b_sessions));
+               srv.b_sessions
+           end));
   srv
 
 (* Traffic from a superseded server-side incarnation (the client has since
@@ -271,6 +302,8 @@ and process_delivery s d =
       | None -> () (* deregistered while in flight *))
     d.d_items
 
+let on_heartbeat_tick srv f = srv.b_on_tick <- f :: srv.b_on_tick
+
 let set_admission srv f = srv.b_admission <- f
 let set_registration_filter srv f = srv.b_reg_filter <- f
 
@@ -321,7 +354,13 @@ let signal srv ?stamp name params =
               | None -> None)
             ss.ss_regs
         in
-        if items <> [] then push_delivery srv ss items)
+        if items <> [] then
+          if srv.b_coalesce then
+            (* Hold for the next heartbeat tick; [rev_append] keeps the
+               buffer in reverse-chronological order so the flush can
+               restore chronology with one [List.rev]. *)
+            ss.ss_pending <- List.rev_append items ss.ss_pending
+          else push_delivery srv ss items)
     srv.b_sessions;
   event
 
@@ -353,6 +392,7 @@ let attach srv ~host ~credentials ~session ?replacing () =
         ss_regs = [];
         ss_seq = 0;
         ss_buffer = Hashtbl.create 16;
+        ss_pending = [];
         ss_acked = -1;
         ss_missed_acks = 0;
         ss_live = true;

@@ -43,14 +43,27 @@ val create_server :
   ?ack_every:int ->
   ?retention:float ->
   ?horizon_lag:float ->
+  ?coalesce:bool ->
   unit ->
   server
 (** Defaults: heartbeat 1.0 s, ack every 4 heartbeats, retention 10 s of
     events for retrospective registration, horizon lag 0 (events are
-    signalled with monotone stamps). *)
+    signalled with monotone stamps), coalescing off.
+
+    With [~coalesce:true], matched events are not delivered immediately:
+    they are buffered per session and flushed on the next heartbeat tick as
+    a single message that both delivers the batch and carries the
+    heartbeat, so steady-state traffic is O(sessions) per period instead of
+    O(events).  The batch is buffered under a normal stream sequence
+    number, so gap detection, nack/resend and exactly-once duplicate
+    suppression are unchanged; latency is bounded by one heartbeat
+    period. *)
 
 val server_name : server -> string
 val server_host : server -> Oasis_sim.Net.host
+
+val server_heartbeat : server -> float
+(** The server's heartbeat period (peers pace retries off it). *)
 
 val signal : server -> ?stamp:float -> string -> Event.value list -> Event.t
 (** [signal srv name params] stamps (from the host clock unless [stamp] is
@@ -68,6 +81,12 @@ val set_registration_filter :
 
 val server_horizon : server -> float
 (** Current event-horizon timestamp the server would advertise. *)
+
+val on_heartbeat_tick : server -> (unit -> unit) -> unit
+(** Run [f] at the top of every heartbeat tick (host up, server running),
+    before per-session coalesce buffers are flushed — anything [f] signals
+    on a coalescing server piggybacks on that same tick's heartbeat
+    message.  Services use this to flush their invalidation digests. *)
 
 val sessions : server -> int
 

@@ -3,11 +3,17 @@
     A credential record is a small record representing a server's current
     belief about some fact.  Records form a DAG: a child's value is a boolean
     function (And/Or/Nand/Nor, with optional negation on each parent edge) of
-    its parents' values.  Rather than back-pointers, each record keeps
-    {e counters} of how many parents are currently true, false and unknown —
-    all that is needed to compute its own state.  State changes propagate to
-    children recursively; {e notify} callbacks fire so that other servers
-    (via event notification) and certificate caches can react.
+    its parents' values.  As in the paper, each record keeps {e counters} of
+    how many parents are currently true, false and unknown — all that is
+    needed to compute its own state.  Adjacency is {e indexed}: every edge
+    has a table-unique id kept both in the parent's child set and in a back
+    index on the child, so detaching a dying record from all its parents is
+    O(1) per edge (the back index goes beyond the paper's counters-only
+    sketch, but is invisible to the semantics).  State changes propagate to
+    children via a generation-stamped worklist, so a cascade recomputes each
+    record once per settled counter change instead of once per DAG path;
+    {e notify} callbacks fire so that other servers (via event notification)
+    and certificate caches can react.
 
     References are [(table index, magic)] pairs; a slot's magic is bumped on
     reuse, so references are never resurrected: a dangling reference reads as
@@ -85,6 +91,22 @@ val gc_sweep : table -> int
     reclaimed. *)
 
 val live_records : table -> int
+
+(** {1 Introspection (tests and benches)} *)
+
+val children_count : table -> cref -> int
+(** Number of live outgoing edges (0 for dead references). *)
+
+val edge_ops : table -> int
+(** Monotone counter of elementary edge operations (attach, detach, cascade
+    visit).  Lets tests assert asymptotic behaviour — e.g. that detaching n
+    children from a 10k-child parent costs O(n) edge work, not O(n²). *)
+
+val self_check : table -> (unit, string) result
+(** Structural audit: edge/back-index symmetry, no dangling edges, counter
+    sums and per-state recounts, and state consistency with counters for
+    non-permanent combining records.  Only meaningful at quiescence. *)
+
 val marshal_ref : cref -> string
 val unmarshal_ref : string -> cref option
 val pp_state : Format.formatter -> state -> unit

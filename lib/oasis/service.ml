@@ -6,6 +6,9 @@ module Infer = Oasis_rdl.Infer
 module Bitset = Oasis_util.Bitset
 module Signing = Oasis_util.Signing
 module Prng = Oasis_util.Prng
+module Cache = Oasis_util.Cache
+module Pretty = Oasis_rdl.Pretty
+module Stats = Oasis_sim.Stats
 module Net = Oasis_sim.Net
 module Engine = Oasis_sim.Engine
 module Clock = Oasis_sim.Clock
@@ -45,7 +48,14 @@ type peer_link = {
   mutable pl_connecting : bool;
   mutable pl_queued : (Broker.session -> unit) list;
   pl_externals : (string, Credrec.cref) Hashtbl.t;  (* remote ref -> local surrogate *)
+  mutable pl_batch_reg : bool;  (* ModifiedBatch registration installed *)
+  pl_reread_pending : (string, unit) Hashtbl.t;  (* keys awaiting post-heal reread *)
+  mutable pl_rereading : bool;  (* a batched reread is in flight / scheduled *)
 }
+
+(* A compiled residual membership rule (§4.7): either a constant or a
+   credential record seen through an optional negation. *)
+type compiled = Const of bool | Ref of Credrec.cref * bool  (* negated *)
 
 type t = {
   sv_net : Net.t;
@@ -72,7 +82,11 @@ type t = {
       (* (role, marshalled args) -> revoker role + record, per live membership *)
   sv_blacklist : (string * string, unit) Hashtbl.t;
   mutable sv_audit : audit_entry list;
-  sv_sig_cache : (string, unit) Hashtbl.t;
+  sv_sig_cache : (string, unit) Cache.t;
+  sv_batch : bool;
+  sv_policy_hash : int;
+  sv_pending_mods : (string, string) Hashtbl.t;  (* local ref -> latest state *)
+  sv_residuals : (string, compiled) Cache.t;
   mutable sv_crypto_checks : int;
   mutable sv_cache_hits : int;
 }
@@ -98,9 +112,14 @@ let now t = Clock.read (Net.host_clock t.sv_host)
 
 let audit t kind detail = t.sv_audit <- { at = now t; kind; detail } :: t.sv_audit
 
+let stats t = Net.stats t.sv_net
+
 let roll_secret t =
   Signing.Rolling.roll t.sv_secrets;
-  Hashtbl.reset t.sv_sig_cache
+  Cache.clear t.sv_sig_cache
+
+let sig_cache_size t = Cache.length t.sv_sig_cache
+let residual_cache_size t = Cache.length t.sv_residuals
 
 let group t gname =
   match Hashtbl.find_opt t.sv_groups gname with
@@ -122,7 +141,8 @@ let assign_role_bits rolefile =
 
 let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs = [])
     ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
-    ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0) () =
+    ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0)
+    ?(batch_notifications = true) ?(sig_cache_cap = 1024) () =
   match Parser.parse_result ?resolve_literal rolefile with
   | Error e -> Error e
   | Ok parsed -> (
@@ -162,18 +182,43 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   sv_table = Credrec.create_table ();
                   sv_groups = Hashtbl.create 8;
                   sv_funcs = funcs;
-                  sv_broker = Broker.create_server net host ~name:sv_name ~heartbeat ();
+                  sv_broker =
+                    Broker.create_server net host ~name:sv_name ~heartbeat
+                      ~coalesce:batch_notifications ();
                   sv_peers = Hashtbl.create 8;
                   sv_notifying = Hashtbl.create 64;
                   sv_rbr = Hashtbl.create 16;
                   sv_blacklist = Hashtbl.create 16;
                   sv_audit = [];
-                  sv_sig_cache = Hashtbl.create 256;
+                  sv_sig_cache = Cache.create sig_cache_cap;
+                  sv_batch = batch_notifications;
+                  sv_policy_hash = Hashtbl.hash rolefile;
+                  sv_pending_mods = Hashtbl.create 64;
+                  sv_residuals = Cache.create 4096;
                   sv_crypto_checks = 0;
                   sv_cache_hits = 0;
                 }
               in
               Hashtbl.replace reg sv_name t;
+              (* Batched notification: record changes accumulate in
+                 [sv_pending_mods] and are flushed as ONE ModifiedBatch
+                 digest at the top of each broker heartbeat tick, so the
+                 digest rides that very tick's coalesced heartbeat message
+                 (steady-state: O(peers) messages per period, §4.10). *)
+              if batch_notifications then
+                Broker.on_heartbeat_tick t.sv_broker (fun () ->
+                    if Hashtbl.length t.sv_pending_mods > 0 then begin
+                      let mods =
+                        Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.sv_pending_mods []
+                        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+                      in
+                      Hashtbl.reset t.sv_pending_mods;
+                      Stats.observe (Net.stats net) "oasis.mods.flush" (List.length mods);
+                      let digest =
+                        String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) mods)
+                      in
+                      ignore (Broker.signal t.sv_broker "ModifiedBatch" [ Value.Str digest ])
+                    end);
               Ok t))
 
 (* --- Modified event notification for records other services depend on --- *)
@@ -186,21 +231,28 @@ let arm_notification t cref =
         let state_str =
           match st with Credrec.True -> "true" | Credrec.False -> "false" | Credrec.Unknown -> "unknown"
         in
-        ignore (Broker.signal t.sv_broker "Modified" [ Value.Str key; Value.Str state_str ]))
+        if t.sv_batch then
+          (* Coalesce: only the latest state per record matters; the
+             heartbeat-tick hook turns the buffer into one digest event. *)
+          Hashtbl.replace t.sv_pending_mods key state_str
+        else
+          ignore (Broker.signal t.sv_broker "Modified" [ Value.Str key; Value.Str state_str ]))
   end
 
 (* --- signature verification with caching (§4.2) --- *)
 
 let verify_rmc_sig t cert =
   let key = cert.Cert.rmc_sig ^ "|" ^ Cert.rmc_payload cert in
-  if t.sv_cache && Hashtbl.mem t.sv_sig_cache key then begin
+  if t.sv_cache && Cache.find t.sv_sig_cache key <> None then begin
     t.sv_cache_hits <- t.sv_cache_hits + 1;
+    Stats.incr (stats t) "oasis.sigcache.hit";
     true
   end
   else begin
     t.sv_crypto_checks <- t.sv_crypto_checks + 1;
+    if t.sv_cache then Stats.incr (stats t) "oasis.sigcache.miss";
     let ok = Cert.verify_rmc t.sv_secrets cert in
-    if ok && t.sv_cache then Hashtbl.replace t.sv_sig_cache key ();
+    if ok && t.sv_cache then Cache.set t.sv_sig_cache key ();
     ok
   end
 
@@ -260,10 +312,58 @@ let peer_link t peer_name =
           pl_connecting = false;
           pl_queued = [];
           pl_externals = Hashtbl.create 16;
+          pl_batch_reg = false;
+          pl_reread_pending = Hashtbl.create 16;
+          pl_rereading = false;
         }
       in
       Hashtbl.replace t.sv_peers peer_name pl;
       pl
+
+(* Batched post-heal reread: one RPC per peer link carrying every pending
+   key, instead of one RPC per external record.  The handler is a pure read,
+   so when [rpc_retry] exhausts its budget mid-batch the WHOLE batch is
+   simply retried after a heartbeat period — idempotent, and keys that were
+   already answered by a racing digest event are reconciled last-writer-wins
+   by [Credrec.set_leaf]. *)
+let rec reread_pending t pl peer session =
+  match pl.pl_session with
+  | Some s when s == session && not (Broker.stale session) ->
+      let keys =
+        Hashtbl.fold (fun k () acc -> k :: acc) pl.pl_reread_pending []
+        |> List.sort String.compare
+      in
+      if keys = [] then pl.pl_rereading <- false
+      else begin
+        pl.pl_rereading <- true;
+        Net.rpc_retry t.sv_net ~category:"oasis.reread"
+          ~size:(32 + (16 * List.length keys))
+          ~src:t.sv_host ~dst:peer.sv_host
+          (fun () ->
+            Ok
+              (List.filter_map
+                 (fun key ->
+                   Option.map
+                     (fun r -> (key, Credrec.state peer.sv_table r))
+                     (Credrec.unmarshal_ref key))
+                 keys))
+          (function
+            | Ok states ->
+                List.iter
+                  (fun (key, st) ->
+                    Hashtbl.remove pl.pl_reread_pending key;
+                    match Hashtbl.find_opt pl.pl_externals key with
+                    | Some local -> Credrec.set_leaf t.sv_table local st
+                    | None -> ())
+                  states;
+                (* Anything queued while the batch was in flight. *)
+                reread_pending t pl peer session
+            | Error _ ->
+                Engine.schedule (Net.engine t.sv_net)
+                  ~delay:(Broker.server_heartbeat (broker peer))
+                  (fun () -> reread_pending t pl peer session))
+      end
+  | _ -> pl.pl_rereading <- false
 
 let with_peer_session t pl k =
   match pl.pl_session with
@@ -284,36 +384,65 @@ let with_peer_session t pl k =
                 | Ok session ->
                     pl.pl_session <- Some session;
                     (* §4.10: missed heartbeats mark every external record
-                       from this peer Unknown; recovery re-reads states. *)
+                       from this peer Unknown; recovery batch-rereads the
+                       states over one reliable RPC per link. *)
                     Broker.on_staleness session (fun is_stale ->
-                        Hashtbl.iter
-                          (fun remote_key local_ref ->
-                            if is_stale then
-                              Credrec.set_leaf t.sv_table local_ref Credrec.Unknown
-                            else
-                              (* Re-read the remote state. *)
-                              match find_service t.sv_registry pl.pl_peer with
-                              | None -> ()
-                              | Some peer ->
-                                  (* Reliable: recovery often coincides with a
-                                     still-flaky network, and a lost reread
-                                     would leave the record Unknown forever.
-                                     The handler is a pure read (idempotent). *)
-                                  Net.rpc_retry t.sv_net ~category:"oasis.reread" ~src:t.sv_host
-                                    ~dst:peer.sv_host
-                                    (fun () ->
-                                      match Credrec.unmarshal_ref remote_key with
-                                      | None -> Error "bad ref"
-                                      | Some r -> Ok (Credrec.state peer.sv_table r))
-                                    (function
-                                      | Ok st -> Credrec.set_leaf t.sv_table local_ref st
-                                      | Error _ -> ()))
-                          pl.pl_externals);
+                        if is_stale then
+                          Hashtbl.iter
+                            (fun _ local_ref ->
+                              Credrec.set_leaf t.sv_table local_ref Credrec.Unknown)
+                            pl.pl_externals
+                        else begin
+                          Hashtbl.iter
+                            (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
+                            pl.pl_externals;
+                          match find_service t.sv_registry pl.pl_peer with
+                          | None -> ()
+                          | Some peer ->
+                              if not pl.pl_rereading then reread_pending t pl peer session
+                        end);
                     let queued = List.rev pl.pl_queued in
                     pl.pl_queued <- [];
                     List.iter (fun k -> k session) queued)
               ()
       end
+
+let state_of_string = function
+  | "true" -> Credrec.True
+  | "false" -> Credrec.False
+  | _ -> Credrec.Unknown
+
+(* Apply one ModifiedBatch digest ("key=state;key=state;...") to the link's
+   mirrored externals.  Keys not mirrored here are skipped; re-application
+   (retries, retained-log replays after reconnect) is idempotent. *)
+let apply_mod_digest t pl digest =
+  List.iter
+    (fun item ->
+      match String.index_opt item '=' with
+      | None -> ()
+      | Some i -> (
+          let key = String.sub item 0 i in
+          let state = String.sub item (i + 1) (String.length item - i - 1) in
+          match Hashtbl.find_opt pl.pl_externals key with
+          | None -> ()
+          | Some local -> Credrec.set_leaf t.sv_table local (state_of_string state)))
+    (String.split_on_char ';' digest)
+
+(* One registration per peer link covers every mirrored record when the
+   issuer batches; otherwise external records would each need their own
+   template and the issuer's signal path would scan O(records)
+   registrations per change. *)
+let ensure_batch_registration t pl =
+  if not pl.pl_batch_reg then begin
+    pl.pl_batch_reg <- true;
+    with_peer_session t pl (fun session ->
+        let tpl = Event.template "ModifiedBatch" [ Event.Any ] in
+        ignore
+          (Broker.register session tpl (fun e ->
+               match e.Event.params with
+               | [| Value.Str digest |] -> apply_mod_digest t pl digest
+               | _ -> ())))
+  end
 
 (* Create (or reuse) the local surrogate for a remote credential record and
    arm event notification for its changes. *)
@@ -327,20 +456,21 @@ let external_record t ~peer_name ~remote_ref ~initial =
   | _ ->
       let local = Credrec.leaf t.sv_table ~state:initial () in
       Hashtbl.replace pl.pl_externals key local;
-      with_peer_session t pl (fun session ->
-          let tpl = Event.template "Modified" [ Event.Lit (Value.Str key); Event.Any ] in
-          ignore
-            (Broker.register session tpl (fun e ->
-                 match e.Event.params with
-                 | [| _; Value.Str state |] ->
-                     let st =
-                       match state with
-                       | "true" -> Credrec.True
-                       | "false" -> Credrec.False
-                       | _ -> Credrec.Unknown
-                     in
-                     Credrec.set_leaf t.sv_table local st
-                 | _ -> ())));
+      let issuer_batches =
+        match find_service t.sv_registry peer_name with
+        | Some peer -> peer.sv_batch
+        | None -> false
+      in
+      if issuer_batches then ensure_batch_registration t pl
+      else
+        with_peer_session t pl (fun session ->
+            let tpl = Event.template "Modified" [ Event.Lit (Value.Str key); Event.Any ] in
+            ignore
+              (Broker.register session tpl (fun e ->
+                   match e.Event.params with
+                   | [| _; Value.Str state |] ->
+                       Credrec.set_leaf t.sv_table local (state_of_string state)
+                   | _ -> ())));
       local
 
 (* --- constraint-evaluation context --- *)
@@ -378,8 +508,6 @@ let eval_ctx t =
 
 (* --- residual membership-rule compilation (§4.7) --- *)
 
-type compiled = Const of bool | Ref of Credrec.cref * bool  (* negated *)
-
 let rec compile_residual t env constr =
   let ctx = eval_ctx t in
   match constr with
@@ -413,6 +541,51 @@ and combine_residual t env op unit_is_true parts =
     | [] -> Const (not absorbing)
     | [ (r, n) ] -> Ref (r, n)
     | refs -> Ref (Credrec.combine t.sv_table ~op refs, false)
+
+(* Residual compile cache.  Only "pure-record" constraints — built solely
+   from [in]-tests on variables/literals under and/or/not/star — are
+   cacheable: their compiled form is a record DAG whose truth tracks group
+   changes dynamically, so reusing it is semantics-preserving (the group
+   credential leaves are already memoised by [Group.credential]).  Anything
+   involving relations, subset tests, extension calls or binds is evaluated
+   per entry as before, since those evaluate to constants captured at
+   compile time. *)
+let pure_expr = function Ast.Elit _ | Ast.Evar _ -> true | Ast.Ecall _ -> false
+
+let rec pure_residual = function
+  | Ast.Cin (e, _) -> pure_expr e
+  | Ast.Cstar c | Ast.Cnot c -> pure_residual c
+  | Ast.Cand (a, b) | Ast.Cor (a, b) -> pure_residual a && pure_residual b
+  | Ast.Crel _ | Ast.Csubset _ | Ast.Ccall _ | Ast.Cbind _ -> false
+
+let residual_key t env constr =
+  let vars = List.sort_uniq String.compare (Ast.constr_vars constr) in
+  let binding x =
+    match List.assoc_opt x env with Some v -> x ^ "=" ^ Value.marshal v | None -> x ^ "=?"
+  in
+  Printf.sprintf "%d|%s|%s" t.sv_policy_hash
+    (Pretty.constr_to_string constr)
+    (String.concat "," (List.map binding vars))
+
+let compile_residual_cached t env constr =
+  if not (pure_residual constr) then compile_residual t env constr
+  else
+    let key = residual_key t env constr in
+    let hit =
+      match Cache.find t.sv_residuals key with
+      | Some (Const _ as c) -> Some c
+      | Some (Ref (r, _) as c) when Credrec.live t.sv_table r -> Some c
+      | _ -> None (* absent, or the record was reclaimed by GC: recompile *)
+    in
+    match hit with
+    | Some c ->
+        Stats.incr (stats t) "oasis.residual.hit";
+        c
+    | None ->
+        Stats.incr (stats t) "oasis.residual.miss";
+        let c = compile_residual t env constr in
+        Cache.set t.sv_residuals key c;
+        c
 
 (* --- memberships and the entry engine (fig 3.2) --- *)
 
@@ -544,7 +717,7 @@ let complete_match t (entry : Ast.entry) dcerts (env, used) =
                   dcerts;
                 List.iter
                   (fun (mr : Eval.mrule) ->
-                    match compile_residual t mr.Eval.bindings mr.Eval.residual with
+                    match compile_residual_cached t mr.Eval.bindings mr.Eval.residual with
                     | Const true -> ()
                     | Const false ->
                         (* A membership rule already false: represent it

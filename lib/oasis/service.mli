@@ -35,6 +35,8 @@ val create :
   ?compound_certificates:bool ->
   ?fixpoint_entry:bool ->
   ?heartbeat:float ->
+  ?batch_notifications:bool ->
+  ?sig_cache_cap:int ->
   unit ->
   (t, string) result
 (** Parse + type-check the rolefile and install the service.
@@ -45,7 +47,13 @@ val create :
     entered in one request into one certificate (§4.3; default true).
     [fixpoint_entry]: ablation switch — iterate statement application to a
     fixpoint instead of the paper's single in-order pass (default false).
-    [heartbeat]: period of this service's broker heartbeats (default 1s). *)
+    [heartbeat]: period of this service's broker heartbeats (default 1s).
+    [batch_notifications] (default true): coalesce credential-record change
+    notifications into one ModifiedBatch digest per peer link, flushed on
+    the broker heartbeat tick (bounded by one heartbeat of extra latency);
+    with [false], every record change is its own Modified event, as in the
+    unbatched scheme benchmarked by e15.  [sig_cache_cap] (default 1024):
+    bound on the signature-verification cache (two-generation eviction). *)
 
 val name : t -> string
 val host : t -> Oasis_sim.Net.host
@@ -225,6 +233,14 @@ val crypto_checks : t -> int
 (** Signature computations performed (cache misses). *)
 
 val cache_hits : t -> int
+
+val sig_cache_size : t -> int
+(** Entries currently held by the (capped) signature cache; hit/miss
+    counters also land in the net's {!Oasis_sim.Stats} under
+    [oasis.sigcache.*]. *)
+
+val residual_cache_size : t -> int
+(** Entries in the compiled-residual cache ([oasis.residual.*] counters). *)
 
 val gc : t -> int
 (** Run a credential-record GC sweep; returns slots reclaimed. *)

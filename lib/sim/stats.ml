@@ -1,4 +1,4 @@
-type cell = { mutable count : int; mutable bytes : int }
+type cell = { mutable count : int; mutable bytes : int; mutable vmax : int }
 
 type t = (string, cell) Hashtbl.t
 
@@ -8,7 +8,7 @@ let cell t cat =
   match Hashtbl.find_opt t cat with
   | Some c -> c
   | None ->
-      let c = { count = 0; bytes = 0 } in
+      let c = { count = 0; bytes = 0; vmax = 0 } in
       Hashtbl.add t cat c;
       c
 
@@ -20,7 +20,14 @@ let add_bytes t cat n =
   let c = cell t cat in
   c.bytes <- c.bytes + n
 
+let observe t cat n =
+  let c = cell t cat in
+  c.count <- c.count + 1;
+  c.bytes <- c.bytes + n;
+  if n > c.vmax then c.vmax <- n
+
 let count t cat = match Hashtbl.find_opt t cat with Some c -> c.count | None -> 0
+let max_of t cat = match Hashtbl.find_opt t cat with Some c -> c.vmax | None -> 0
 let bytes t cat = match Hashtbl.find_opt t cat with Some c -> c.bytes | None -> 0
 let reset = Hashtbl.reset
 

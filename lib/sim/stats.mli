@@ -9,7 +9,17 @@ type t
 val create : unit -> t
 val incr : t -> ?n:int -> string -> unit
 val add_bytes : t -> string -> int -> unit
+val observe : t -> string -> int -> unit
+(** [observe t cat n] records one sample of value [n] under [cat]: the
+    category's count becomes the number of samples, its bytes the running
+    sum, and [max_of] the largest sample.  Used as a poor-man's gauge for
+    batch sizes alongside the plain message counters. *)
+
 val count : t -> string -> int
+
+val max_of : t -> string -> int
+(** Largest value passed to {!observe} for the category (0 if none). *)
+
 val bytes : t -> string -> int
 val reset : t -> unit
 

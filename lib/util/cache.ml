@@ -1,0 +1,53 @@
+(* Two-generation capped cache.
+
+   Inserts land in the [young] generation; when [young] fills up to half the
+   cap the [old] generation is dropped and the generations rotate, so the
+   table never holds more than [cap] entries and recently-touched entries
+   survive a rotation (lookups promote old hits into [young]).  This is the
+   classic "2Q-lite" scheme: eviction is O(1) amortised and needs no
+   per-entry bookkeeping, which is all the hot paths here (signature cache,
+   compiled-residual cache) require. *)
+
+type ('k, 'v) t = {
+  cap : int;  (* total bound: young + old <= cap *)
+  half : int;
+  mutable young : ('k, 'v) Hashtbl.t;
+  mutable old : ('k, 'v) Hashtbl.t;
+}
+
+let create cap =
+  if cap < 2 then invalid_arg "Cache.create: cap must be >= 2";
+  let half = max 1 (cap / 2) in
+  { cap; half; young = Hashtbl.create half; old = Hashtbl.create half }
+
+let rotate t =
+  let drop = t.old in
+  t.old <- t.young;
+  Hashtbl.reset drop;
+  t.young <- drop
+
+let set t k v =
+  if not (Hashtbl.mem t.young k) && Hashtbl.length t.young >= t.half then rotate t;
+  Hashtbl.replace t.young k v
+
+let find t k =
+  match Hashtbl.find_opt t.young k with
+  | Some _ as hit -> hit
+  | None -> (
+      match Hashtbl.find_opt t.old k with
+      | Some v ->
+          (* Promote: a re-touched entry should survive the next rotation. *)
+          Hashtbl.remove t.old k;
+          set t k v;
+          Some v
+      | None -> None)
+
+let mem t k = Hashtbl.mem t.young k || Hashtbl.mem t.old k
+
+let length t = Hashtbl.length t.young + Hashtbl.length t.old
+
+let capacity t = t.cap
+
+let clear t =
+  Hashtbl.reset t.young;
+  Hashtbl.reset t.old

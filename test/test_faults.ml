@@ -383,6 +383,115 @@ let test_revocation_converges_after_crash () =
   let d1' = revocation_convergence ~seed:11L in
   checkb "deterministic replay" true (Float.equal d1 d1')
 
+(* With batched (heartbeat-coalesced) notifications — the default — and a
+   chaos schedule tormenting the issuing service's host, a revocation fired
+   mid-chaos must still reach dependents within 3 heartbeat periods of the
+   final heal.  Batching may not weaken §4.10's convergence bound. *)
+let member_of_conf w login conf =
+  Group.add (Service.group conf "staff") (V.Str "dm");
+  let jmb = fresh_vci () in
+  let jmb_cert =
+    Service.issue_arbitrary login ~client:jmb ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "jmb"; V.Str "ely" ]
+  in
+  let chair = entry_ok w conf ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let dm = fresh_vci () in
+  let dm_cert =
+    Service.issue_arbitrary login ~client:dm ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "dm"; V.Str "ely" ]
+  in
+  let d, _ =
+    delegate w conf ~delegator:jmb ~using:chair ~role:"Member"
+      ~required:[ ("Login", "LoggedOn", [ V.Str "dm"; V.Str "*" ]) ] ()
+  in
+  let member = entry_ok w conf ~client:dm ~role:"Member" ~creds:[ dm_cert ] ~delegation:d () in
+  (dm, dm_cert, member)
+
+let batched_chaos_convergence ~seed =
+  let w, login, conf = conference_world ~seed:(Int64.add 1000L seed) in
+  let dm, dm_cert, member = member_of_conf w login conf in
+  srun w 2.0;
+  checkb "valid before the chaos" true (Service.validate conf ~client:dm member = Ok ());
+  let f = Net.fault w.s_net in
+  let addr = Net.host_addr (Service.host login) in
+  Fault.chaos f ~hosts:[ addr ] ~mtbf:3.0 ~mttr:1.0 ~until:(Engine.now w.s_engine +. 15.0);
+  srun w 6.0;
+  (* Logoff in the middle of the chaos window, issuer up or not. *)
+  Service.revoke_certificate login dm_cert;
+  srun w 9.0;
+  (* Chaos stops injecting; wait for the final heal. *)
+  let rec await_heal budget =
+    if Fault.up f addr then Engine.now w.s_engine
+    else if budget <= 0.0 then Alcotest.fail "chaos never healed"
+    else begin
+      srun w 0.05;
+      await_heal (budget -. 0.05)
+    end
+  in
+  let healed = await_heal 5.0 in
+  checkb "chaos actually crashed the issuer" true
+    (Stats.count (Net.stats w.s_net) "fault.crash" >= 1);
+  let deadline = healed +. 3.0 in
+  let rec poll () =
+    if Service.validate conf ~client:dm member = Error Service.Revoked then
+      Engine.now w.s_engine -. healed
+    else if Engine.now w.s_engine >= deadline then
+      Alcotest.failf "no convergence within 3 heartbeats of heal (seed %Ld)" seed
+    else begin
+      srun w 0.05;
+      poll ()
+    end
+  in
+  poll ()
+
+let test_batched_chaos_convergence () =
+  let d1 = batched_chaos_convergence ~seed:3L in
+  let d2 = batched_chaos_convergence ~seed:8L in
+  checkb "bounded for seed 3" true (d1 <= 3.0);
+  checkb "bounded for seed 8" true (d2 <= 3.0);
+  let d1' = batched_chaos_convergence ~seed:3L in
+  checkb "deterministic replay" true (Float.equal d1 d1')
+
+(* The batched staleness reread is a single rpc_retry carrying every pending
+   key.  If the issuer dies again mid-batch, the RPC must exhaust its budget
+   (accounted under oasis.reread.giveup) and the whole batch must be retried
+   idempotently once the issuer is really back — converging to the same
+   answer as if the first reread had succeeded. *)
+let test_reread_gives_up_and_retries_batch () =
+  let w, login, conf = conference_world ~seed:77L in
+  let dm, dm_cert, member = member_of_conf w login conf in
+  srun w 2.0;
+  let stats = Net.stats w.s_net in
+  Net.crash_host w.s_net (Service.host login);
+  srun w 1.0;
+  Service.revoke_certificate login dm_cert;
+  srun w 2.0;
+  checkb "unknown while issuer down" true
+    (Service.validate conf ~client:dm member = Error Service.Unknown_state);
+  (* Heal, then kill the issuer again the moment the batched reread has been
+     sent but before its reply can land (2 x 5 ms latency): the in-flight
+     exchange is dropped and every retry hits a dead host. *)
+  let attempts0 = Stats.count stats "oasis.reread.attempt" in
+  Net.restart_host w.s_net (Service.host login);
+  let rec await_attempt budget =
+    if Stats.count stats "oasis.reread.attempt" > attempts0 then ()
+    else if budget <= 0.0 then Alcotest.fail "recovery never issued a reread"
+    else begin
+      srun w 0.002;
+      await_attempt (budget -. 0.002)
+    end
+  in
+  await_attempt 15.0;
+  Net.crash_host w.s_net (Service.host login);
+  (* Worst-case budget: 5 x 2 s timeouts plus jittered backoff < 16 s. *)
+  srun w 16.0;
+  checkb "mid-batch reread exhausted its retry budget" true
+    (Stats.count stats "oasis.reread.giveup" >= 1);
+  Net.restart_host w.s_net (Service.host login);
+  srun w 8.0;
+  checkb "batch retried idempotently after the real heal" true
+    (Service.validate conf ~client:dm member = Error Service.Revoked)
+
 let () =
   Alcotest.run "faults"
     [
@@ -413,5 +522,9 @@ let () =
         [
           Alcotest.test_case "revocation within 3 heartbeats of heal" `Quick
             test_revocation_converges_after_crash;
+          Alcotest.test_case "batched notifications under chaos" `Quick
+            test_batched_chaos_convergence;
+          Alcotest.test_case "reread gives up mid-batch, batch retried" `Quick
+            test_reread_gives_up_and_retries_batch;
         ] );
     ]

@@ -29,11 +29,13 @@ let make_world () =
   let client_host = Net.add_host net "client" in
   { engine; net; reg = Service.create_registry (); client_host; hosts = 0 }
 
-let add_service w ~name ~rolefile ?funcs ?fixpoint_entry ?compound_certificates () =
+let add_service w ~name ~rolefile ?funcs ?fixpoint_entry ?compound_certificates ?sig_cache_cap ()
+    =
   w.hosts <- w.hosts + 1;
   let host = Net.add_host w.net (Printf.sprintf "h%d" w.hosts) in
   match
-    Service.create w.net host w.reg ~name ~rolefile ?funcs ?fixpoint_entry ?compound_certificates ()
+    Service.create w.net host w.reg ~name ~rolefile ?funcs ?fixpoint_entry ?compound_certificates
+      ?sig_cache_cap ()
   with
   | Ok s -> s
   | Error e -> Alcotest.failf "service %s: %s" name e
@@ -758,6 +760,90 @@ let test_gc_after_churn () =
   let reclaimed = Service.gc conf in
   checkb "gc reclaims exited memberships" true (reclaimed > 0)
 
+(* --- cache bounds and counters --- *)
+
+module Stats = Oasis_sim.Stats
+
+(* The signature-verification cache must stay within its configured cap
+   under churn (two-generation eviction), and hits/misses must be
+   accounted in the net's stats. *)
+let test_sig_cache_cap_holds () =
+  let w = make_world () in
+  let login = add_service w ~name:"Login" ~rolefile:login_rolefile ~sig_cache_cap:4 () in
+  let stats = Net.stats w.net in
+  let certs =
+    List.init 12 (fun i ->
+        let vci, cert = logged_on login (Printf.sprintf "u%d" i) "ely" in
+        (vci, cert))
+  in
+  List.iter
+    (fun (vci, cert) ->
+      checkb "validates" true (Service.validate login ~client:vci cert = Ok ());
+      checkb "cap holds under churn" true (Service.sig_cache_size login <= 4))
+    certs;
+  let misses = Stats.count stats "oasis.sigcache.miss" in
+  checkb "every first check missed" true (misses >= 12);
+  (* An immediate re-validation of the newest certificate is a hit... *)
+  let hits0 = Stats.count stats "oasis.sigcache.hit" in
+  let vci, cert = List.nth certs 11 in
+  checkb "revalidates" true (Service.validate login ~client:vci cert = Ok ());
+  checki "hot entry hits" (hits0 + 1) (Stats.count stats "oasis.sigcache.hit");
+  (* ...while the oldest was evicted long ago and misses again. *)
+  let vci0, cert0 = List.hd certs in
+  ignore (Service.validate login ~client:vci0 cert0);
+  checkb "evicted entry misses again" true (Stats.count stats "oasis.sigcache.miss" > misses);
+  checkb "cap still holds" true (Service.sig_cache_size login <= 4)
+
+(* Repeated role entries with the same constraint and bindings reuse the
+   compiled residual instead of recompiling it. *)
+let test_residual_cache_reused () =
+  let w = make_world () in
+  let login = add_service w ~name:"Login" ~rolefile:login_rolefile () in
+  let conf =
+    add_service w ~name:"Conf"
+      ~rolefile:{|
+Member(u) <- Login.LoggedOn(u, h)* : ((u in staff) and (u in eng))*
+|}
+      ()
+  in
+  Group.add (Service.group conf "staff") (V.Str "dm");
+  Group.add (Service.group conf "eng") (V.Str "dm");
+  let stats = Net.stats w.net in
+  let dm, dm_cert = logged_on login "dm" "ely" in
+  let m1 = entry_ok w conf ~client:dm ~role:"Member" ~creds:[ dm_cert ] () in
+  let misses = Stats.count stats "oasis.residual.miss" in
+  checkb "first entry compiled the residual" true (misses >= 1);
+  checkb "residual retained" true (Service.residual_cache_size conf >= 1);
+  let m2 = entry_ok w conf ~client:dm ~role:"Member" ~creds:[ dm_cert ] () in
+  checkb "re-entry hit the residual cache" true (Stats.count stats "oasis.residual.hit" >= 1);
+  checki "no recompilation on re-entry" misses (Stats.count stats "oasis.residual.miss");
+  (* The cached compilation must stay live policy: a group change still
+     revokes both memberships. *)
+  checkb "m1 valid" true (Service.validate conf ~client:dm m1 = Ok ());
+  checkb "m2 valid" true (Service.validate conf ~client:dm m2 = Ok ());
+  Group.remove (Service.group conf "eng") (V.Str "dm");
+  checkb "cached residual still revocable (m1)" true
+    (Service.validate conf ~client:dm m1 = Error Service.Revoked);
+  checkb "cached residual still revocable (m2)" true
+    (Service.validate conf ~client:dm m2 = Error Service.Revoked)
+
+(* §4.3: role rights are a 62-bit set; a 63-role rolefile must be refused
+   with a diagnostic, not mis-encoded. *)
+let test_role_bitset_limit () =
+  let roles n = String.concat "" (List.init n (fun i -> Printf.sprintf "R%d <-\n" i)) in
+  let w = make_world () in
+  let host = Net.add_host w.net "h.limit" in
+  (match Service.create w.net host w.reg ~name:"Wide" ~rolefile:(roles 63) () with
+  | Ok _ -> Alcotest.fail "63 roles must not fit a 62-bit set"
+  | Error e ->
+      Alcotest.(check string)
+        "diagnostic" "too many roles for the role bit-set (max 62)" e);
+  (* 62 is still fine. *)
+  let host62 = Net.add_host w.net "h.limit62" in
+  match Service.create w.net host62 w.reg ~name:"Wide62" ~rolefile:(roles 62) () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "62 roles must fit: %s" e
+
 let () =
   Alcotest.run "service"
     [
@@ -813,4 +899,10 @@ let () =
           Alcotest.test_case "high score table" `Quick test_high_score_table;
         ] );
       ("gc", [ Alcotest.test_case "after churn" `Quick test_gc_after_churn ]);
+      ( "caches",
+        [
+          Alcotest.test_case "sig cache cap holds" `Quick test_sig_cache_cap_holds;
+          Alcotest.test_case "residual cache reused" `Quick test_residual_cache_reused;
+          Alcotest.test_case "62-role bit-set limit" `Quick test_role_bitset_limit;
+        ] );
     ]
