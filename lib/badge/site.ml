@@ -1,5 +1,6 @@
 module Value = Oasis_rdl.Value
 module Net = Oasis_sim.Net
+module Trace = Oasis_sim.Trace
 module Broker = Oasis_events.Broker
 module Service = Oasis_core.Service
 
@@ -103,6 +104,9 @@ let badge_arrived_at_home t ~badge ~at_site =
       Ok hr.hr_user
 
 let sight t ~badge ~home ~room =
+  (* One trace per sensor sighting: the Master/Namer signals, the inter-site
+     lookup (with its retries) and the home side's purge all join it. *)
+  Trace.with_span (Net.trace t.s_net) "badge.sight" @@ fun () ->
   (* Raw sensor event, always signalled by the Master (fig 6.3). *)
   ignore (Broker.signal t.s_master "Seen" [ Value.Int badge; Value.Str room ]);
   let known = Hashtbl.mem t.s_home_badges badge || Hashtbl.mem t.s_foreign badge in

@@ -1,8 +1,16 @@
 module Net = Oasis_sim.Net
 module Engine = Oasis_sim.Engine
 module Clock = Oasis_sim.Clock
+module Trace = Oasis_sim.Trace
 
-type delivery = { d_seq : int; d_items : (int * Event.t) list; d_horizon : float }
+(* Each item carries the trace context that was ambient when its event was
+   signalled: a coalesced event sits in [ss_pending] until the heartbeat
+   tick, by which time the ambient context at the flushing [Net.send] is the
+   tick's, not the signaller's — restoring the per-item context around the
+   client callback keeps causality through the batching. *)
+type item = int * Event.t * Trace.ctx option
+
+type delivery = { d_seq : int; d_items : item list; d_horizon : float }
 
 (* Client-side registration state.  The template is kept so the session can
    re-register after a reconnection; [cr_last_seen] (the highest event seq
@@ -49,7 +57,7 @@ and sess_srv = {
   mutable ss_regs : (int * Event.template) list;
   mutable ss_seq : int;  (* next delivery stream seq *)
   ss_buffer : (int, delivery) Hashtbl.t;  (* unacked deliveries *)
-  mutable ss_pending : (int * Event.t) list;  (* coalesced, reverse order *)
+  mutable ss_pending : item list;  (* coalesced, reverse order *)
   mutable ss_acked : int;
   mutable ss_missed_acks : int;
   mutable ss_live : bool;
@@ -288,8 +296,9 @@ and client_deliver s sid d =
 
 and process_delivery s d =
   s.s_last_seq <- d.d_seq;
+  let tracer = Net.trace s.s_net in
   List.iter
-    (fun (reg_id, event) ->
+    (fun (reg_id, event, ctx) ->
       match List.assoc_opt reg_id s.s_callbacks with
       | Some cr ->
           (* Event seqs are monotone per server and survive restarts, so
@@ -297,7 +306,9 @@ and process_delivery s d =
              registrations and reconnection replays. *)
           if event.Event.seq > cr.cr_last_seen then begin
             cr.cr_last_seen <- event.Event.seq;
-            cr.cr_cb event
+            match ctx with
+            | None -> cr.cr_cb event
+            | Some _ -> Trace.with_ctx tracer ctx (fun () -> cr.cr_cb event)
           end
       | None -> () (* deregistered while in flight *))
     d.d_items
@@ -346,11 +357,12 @@ let signal srv ?stamp name params =
   List.iter
     (fun ss ->
       if ss.ss_live then
+        let ctx = Trace.current (Net.trace srv.b_net) in
         let items =
           List.filter_map
             (fun (reg_id, tpl) ->
               match Event.matches tpl event with
-              | Some _ -> Some (reg_id, event)
+              | Some _ -> Some (reg_id, event, ctx)
               | None -> None)
             ss.ss_regs
         in
@@ -437,7 +449,7 @@ let send_register session ?since reg_id tpl =
                     |> List.rev
                   in
                   if replay <> [] then
-                    push_delivery srv ss (List.map (fun e -> (reg_id, e)) replay));
+                    push_delivery srv ss (List.map (fun e -> (reg_id, e, None)) replay));
               Ok ()))
     (fun (_ : (unit, string) result) -> ())
 

@@ -50,7 +50,7 @@ module Chain = struct
 
   let rec validate issuer cap =
     issuer.i_crypto <- issuer.i_crypto + 1;
-    Signing.verify issuer.i_secret (payload cap) cap.c_sig
+    Signing.verify ~length:issuer.i_sig_length issuer.i_secret (payload cap) cap.c_sig
     && (not (Hashtbl.mem issuer.i_revoked cap.c_sig))
     && match cap.c_parent with None -> true | Some p -> validate issuer p
 
@@ -91,7 +91,8 @@ module Refresh = struct
     { c with rc_sig = Signing.sign ~length:issuer.r_sig_length issuer.r_secret (payload c) }
 
   let valid issuer ~at c =
-    at <= c.rc_expires && Signing.verify issuer.r_secret (payload c) c.rc_sig
+    at <= c.rc_expires
+    && Signing.verify ~length:issuer.r_sig_length issuer.r_secret (payload c) c.rc_sig
 
   let revoke issuer ~holder ~role = Hashtbl.replace issuer.r_revoked (holder, role) ()
 

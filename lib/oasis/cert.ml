@@ -79,19 +79,19 @@ let revocation_payload r =
 let sign_rmc secrets ~length c =
   { c with rmc_sig = Signing.Rolling.sign ~length secrets (rmc_payload c) }
 
-let verify_rmc secrets c = Signing.Rolling.verify secrets (rmc_payload c) c.rmc_sig
+let verify_rmc ?length secrets c = Signing.Rolling.verify ?length secrets (rmc_payload c) c.rmc_sig
 
 let sign_delegation secrets ~length d =
   { d with d_sig = Signing.Rolling.sign ~length secrets (delegation_payload d) }
 
-let verify_delegation secrets d =
-  Signing.Rolling.verify secrets (delegation_payload d) d.d_sig
+let verify_delegation ?length secrets d =
+  Signing.Rolling.verify ?length secrets (delegation_payload d) d.d_sig
 
 let sign_revocation secrets ~length r =
   { r with r_sig = Signing.Rolling.sign ~length secrets (revocation_payload r) }
 
-let verify_revocation secrets r =
-  Signing.Rolling.verify secrets (revocation_payload r) r.r_sig
+let verify_revocation ?length secrets r =
+  Signing.Rolling.verify ?length secrets (revocation_payload r) r.r_sig
 
 let has_role ~role_bits c role =
   match List.assoc_opt role role_bits with

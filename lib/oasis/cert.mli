@@ -64,13 +64,17 @@ val delegation_payload : delegation -> string
 val revocation_payload : revocation -> string
 
 val sign_rmc : Oasis_util.Signing.Rolling.t -> length:int -> rmc -> rmc
-val verify_rmc : Oasis_util.Signing.Rolling.t -> rmc -> bool
+
+val verify_rmc : ?length:int -> Oasis_util.Signing.Rolling.t -> rmc -> bool
+(** [length] is the signature length the verifying service is configured
+    for (default 16); signatures of any other length — e.g. truncated ones
+    — are rejected regardless of content. *)
 
 val sign_delegation : Oasis_util.Signing.Rolling.t -> length:int -> delegation -> delegation
-val verify_delegation : Oasis_util.Signing.Rolling.t -> delegation -> bool
+val verify_delegation : ?length:int -> Oasis_util.Signing.Rolling.t -> delegation -> bool
 
 val sign_revocation : Oasis_util.Signing.Rolling.t -> length:int -> revocation -> revocation
-val verify_revocation : Oasis_util.Signing.Rolling.t -> revocation -> bool
+val verify_revocation : ?length:int -> Oasis_util.Signing.Rolling.t -> revocation -> bool
 
 val has_role : role_bits:(string * int) list -> rmc -> string -> bool
 (** Does the certificate embody the named role under the issuing service's

@@ -9,6 +9,7 @@ module Prng = Oasis_util.Prng
 module Cache = Oasis_util.Cache
 module Pretty = Oasis_rdl.Pretty
 module Stats = Oasis_sim.Stats
+module Trace = Oasis_sim.Trace
 module Net = Oasis_sim.Net
 module Engine = Oasis_sim.Engine
 module Clock = Oasis_sim.Clock
@@ -86,6 +87,9 @@ type t = {
   sv_batch : bool;
   sv_policy_hash : int;
   sv_pending_mods : (string, string) Hashtbl.t;  (* local ref -> latest state *)
+  sv_pending_ctx : (string, Trace.ctx) Hashtbl.t;
+      (* trace context ambient when each pending mod was recorded, so the
+         digest flush can join the revocation trace that caused it *)
   sv_residuals : (string, compiled) Cache.t;
   mutable sv_crypto_checks : int;
   mutable sv_cache_hits : int;
@@ -113,6 +117,22 @@ let now t = Clock.read (Net.host_clock t.sv_host)
 let audit t kind detail = t.sv_audit <- { at = now t; kind; detail } :: t.sv_audit
 
 let stats t = Net.stats t.sv_net
+let tracer t = Net.trace t.sv_net
+
+(* Root a revocation trace at an invalidation entry point: the cascade runs
+   inside the span, so the record-change hooks, the buffered digest, the
+   broker flush and the peers' applies all inherit its context and the span
+   tree reconstructs the paper's end-to-end revocation path. *)
+let with_revocation_span t ~reason f =
+  let tr = tracer t in
+  let sp = Trace.start tr "revoke.invalidate" in
+  Trace.add_attr sp "reason" reason;
+  Fun.protect
+    ~finally:(fun () -> Trace.finish tr sp)
+    (fun () -> Trace.with_ctx tr (Some (Trace.ctx_of sp)) f)
+
+let invalidate_traced t ~reason cref =
+  with_revocation_span t ~reason (fun () -> Credrec.invalidate t.sv_table cref)
 
 let roll_secret t =
   Signing.Rolling.roll t.sv_secrets;
@@ -194,6 +214,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   sv_batch = batch_notifications;
                   sv_policy_hash = Hashtbl.hash rolefile;
                   sv_pending_mods = Hashtbl.create 64;
+                  sv_pending_ctx = Hashtbl.create 64;
                   sv_residuals = Cache.create 4096;
                   sv_crypto_checks = 0;
                   sv_cache_hits = 0;
@@ -217,7 +238,28 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                       let digest =
                         String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) mods)
                       in
-                      ignore (Broker.signal t.sv_broker "ModifiedBatch" [ Value.Str digest ])
+                      (* The flush span's parent is the buffered context
+                         with the earliest origin: a digest merging several
+                         bursts is attributed to the oldest one it carries,
+                         so no end-to-end latency is under-reported. *)
+                      let tr = Net.trace net in
+                      let parent =
+                        Hashtbl.fold
+                          (fun _ c acc ->
+                            match acc with
+                            | Some best when Trace.origin best <= Trace.origin c -> acc
+                            | _ -> Some c)
+                          t.sv_pending_ctx None
+                      in
+                      Hashtbl.reset t.sv_pending_ctx;
+                      let sp = Trace.start tr ?parent "revoke.flush" in
+                      Trace.add_attr sp "mods" (string_of_int (List.length mods));
+                      Trace.with_ctx tr
+                        (Some (Trace.ctx_of sp))
+                        (fun () ->
+                          ignore
+                            (Broker.signal t.sv_broker "ModifiedBatch" [ Value.Str digest ]));
+                      Trace.finish tr sp
                     end);
               Ok t))
 
@@ -231,10 +273,14 @@ let arm_notification t cref =
         let state_str =
           match st with Credrec.True -> "true" | Credrec.False -> "false" | Credrec.Unknown -> "unknown"
         in
-        if t.sv_batch then
+        if t.sv_batch then begin
           (* Coalesce: only the latest state per record matters; the
              heartbeat-tick hook turns the buffer into one digest event. *)
-          Hashtbl.replace t.sv_pending_mods key state_str
+          Hashtbl.replace t.sv_pending_mods key state_str;
+          match Trace.current (tracer t) with
+          | Some ctx -> Hashtbl.replace t.sv_pending_ctx key ctx
+          | None -> ()
+        end
         else
           ignore (Broker.signal t.sv_broker "Modified" [ Value.Str key; Value.Str state_str ]))
   end
@@ -251,7 +297,7 @@ let verify_rmc_sig t cert =
   else begin
     t.sv_crypto_checks <- t.sv_crypto_checks + 1;
     if t.sv_cache then Stats.incr (stats t) "oasis.sigcache.miss";
-    let ok = Cert.verify_rmc t.sv_secrets cert in
+    let ok = Cert.verify_rmc ~length:t.sv_sig_length t.sv_secrets cert in
     if ok && t.sv_cache then Cache.set t.sv_sig_cache key ();
     ok
   end
@@ -336,32 +382,43 @@ let rec reread_pending t pl peer session =
       if keys = [] then pl.pl_rereading <- false
       else begin
         pl.pl_rereading <- true;
-        Net.rpc_retry t.sv_net ~category:"oasis.reread"
-          ~size:(32 + (16 * List.length keys))
-          ~src:t.sv_host ~dst:peer.sv_host
+        (* Post-heal recovery is its own trace root (staleness, not any one
+           revocation, caused it); the span stays open across retries and
+           closes when the batch lands or is rescheduled. *)
+        let tr = tracer t in
+        let sp = Trace.start tr "revoke.reread" in
+        Trace.add_attr sp "keys" (string_of_int (List.length keys));
+        Trace.with_ctx tr
+          (Some (Trace.ctx_of sp))
           (fun () ->
-            Ok
-              (List.filter_map
-                 (fun key ->
-                   Option.map
-                     (fun r -> (key, Credrec.state peer.sv_table r))
-                     (Credrec.unmarshal_ref key))
-                 keys))
-          (function
-            | Ok states ->
-                List.iter
-                  (fun (key, st) ->
-                    Hashtbl.remove pl.pl_reread_pending key;
-                    match Hashtbl.find_opt pl.pl_externals key with
-                    | Some local -> Credrec.set_leaf t.sv_table local st
-                    | None -> ())
-                  states;
-                (* Anything queued while the batch was in flight. *)
-                reread_pending t pl peer session
-            | Error _ ->
-                Engine.schedule (Net.engine t.sv_net)
-                  ~delay:(Broker.server_heartbeat (broker peer))
-                  (fun () -> reread_pending t pl peer session))
+            Net.rpc_retry t.sv_net ~category:"oasis.reread"
+              ~size:(32 + (16 * List.length keys))
+              ~src:t.sv_host ~dst:peer.sv_host
+              (fun () ->
+                Ok
+                  (List.filter_map
+                     (fun key ->
+                       Option.map
+                         (fun r -> (key, Credrec.state peer.sv_table r))
+                         (Credrec.unmarshal_ref key))
+                     keys))
+              (function
+                | Ok states ->
+                    List.iter
+                      (fun (key, st) ->
+                        Hashtbl.remove pl.pl_reread_pending key;
+                        match Hashtbl.find_opt pl.pl_externals key with
+                        | Some local -> Credrec.set_leaf t.sv_table local st
+                        | None -> ())
+                      states;
+                    Trace.finish tr sp;
+                    (* Anything queued while the batch was in flight. *)
+                    reread_pending t pl peer session
+                | Error _ ->
+                    Trace.finish tr sp;
+                    Engine.schedule (Net.engine t.sv_net)
+                      ~delay:(Broker.server_heartbeat (broker peer))
+                      (fun () -> reread_pending t pl peer session)))
       end
   | _ -> pl.pl_rereading <- false
 
@@ -416,17 +473,26 @@ let state_of_string = function
    mirrored externals.  Keys not mirrored here are skipped; re-application
    (retries, retained-log replays after reconnect) is idempotent. *)
 let apply_mod_digest t pl digest =
-  List.iter
-    (fun item ->
-      match String.index_opt item '=' with
-      | None -> ()
-      | Some i -> (
-          let key = String.sub item 0 i in
-          let state = String.sub item (i + 1) (String.length item - i - 1) in
-          match Hashtbl.find_opt pl.pl_externals key with
+  let tr = tracer t in
+  Trace.with_span tr "revoke.apply" (fun () ->
+      List.iter
+        (fun item ->
+          match String.index_opt item '=' with
           | None -> ()
-          | Some local -> Credrec.set_leaf t.sv_table local (state_of_string state)))
-    (String.split_on_char ';' digest)
+          | Some i -> (
+              let key = String.sub item 0 i in
+              let state = String.sub item (i + 1) (String.length item - i - 1) in
+              match Hashtbl.find_opt pl.pl_externals key with
+              | None -> ()
+              | Some local -> Credrec.set_leaf t.sv_table local (state_of_string state)))
+        (String.split_on_char ';' digest);
+      (* This hop closes the paper's revocation path: invalidation at the
+         issuer -> digest -> heartbeat flush -> this peer's recompute.  The
+         context carries the root's start time, so the distance from it is
+         the end-to-end propagation latency. *)
+      match Trace.current tr with
+      | Some ctx -> Stats.observe_latency (stats t) "oasis.revoke.e2e" (Trace.since_origin tr ctx)
+      | None -> ())
 
 (* One registration per peer link covers every mirrored record when the
    issuer batches; otherwise external records would each need their own
@@ -796,6 +862,7 @@ let apply_statement t ~delegation ~deleg_required_ok ~all_matches (entry : Ast.e
         first assignments
 
 let run_entry_engine t ~delegation ~deleg_required_ok ~initial =
+  Trace.with_span (tracer t) "rdl.entry" @@ fun () ->
   let memberships = ref initial in
   let have m =
     List.exists
@@ -956,7 +1023,8 @@ let request_entry t ~client_host ~client ~role ?args ?(creds = []) ?delegation k
             | None -> Ok None
             | Some d ->
                 if not (String.equal d.Cert.d_service t.sv_name) then Error "delegation for another service"
-                else if not (Cert.verify_delegation t.sv_secrets d) then Error "bad delegation signature"
+                else if not (Cert.verify_delegation ~length:t.sv_sig_length t.sv_secrets d) then
+                  Error "bad delegation signature"
                 else (
                   match d.Cert.d_expires with
                   | Some e when now t > e -> Error "delegation expired"
@@ -1057,7 +1125,19 @@ let request_delegation t ~client_host ~delegator ~using ~role ~required ?expires
           | None ->
               audit t Revocation_denied ("delegation of " ^ role ^ " refused");
               reply (Error ("no election statement permits delegating " ^ role))
-          | Some chosen_statement ->
+          | Some chosen_statement -> (
+            match chosen_statement.Ast.elector with
+            | None ->
+                (* A matched statement without an elector cannot name the
+                   delegator's role.  This request arrives off the wire, so
+                   a malformed shape must be answered with a protocol error
+                   — crashing the whole host here would let any client take
+                   the service down. *)
+                audit t Erroneous
+                  ("delegation request for " ^ role ^ " matched a statement with no elector");
+                reply (Error ("statement defining " ^ role ^ " has no elector"))
+            | Some er ->
+              let delegator_role = er.Ast.role in
               (* The delegation's own credential record; tied to the
                  delegator's membership when revoke_on_exit is set. *)
               let d_crr =
@@ -1074,13 +1154,8 @@ let request_delegation t ~client_host ~delegator ~using ~role ~required ?expires
               | Some at ->
                   Engine.schedule (Net.engine t.sv_net)
                     ~delay:(max 0.0 (at -. now t))
-                    (fun () -> Credrec.invalidate t.sv_table d_crr)
+                    (fun () -> invalidate_traced t ~reason:"expire" d_crr)
               | None -> ());
-              let delegator_role =
-                match chosen_statement.Ast.elector with
-                | Some er -> er.Ast.role
-                | None -> assert false
-              in
               let d =
                 {
                   Cert.d_service = t.sv_name;
@@ -1108,7 +1183,7 @@ let request_delegation t ~client_host ~delegator ~using ~role ~required ?expires
               let r = Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length r in
               audit t Delegation
                 (Printf.sprintf "%s delegated %s" (Principal.vci_to_string delegator) role);
-              reply (Ok (d, r))))
+              reply (Ok (d, r)))))
 
 let request_revocation t ~client_host (rcert : Cert.revocation) k =
   Net.send t.sv_net ~category:"oasis.revoke" ~size:96 ~src:client_host ~dst:t.sv_host (fun () ->
@@ -1118,7 +1193,7 @@ let request_revocation t ~client_host (rcert : Cert.revocation) k =
       in
       if not (String.equal rcert.Cert.r_service t.sv_name) then
         reply (Error "revocation certificate for another service")
-      else if not (Cert.verify_revocation t.sv_secrets rcert) then begin
+      else if not (Cert.verify_revocation ~length:t.sv_sig_length t.sv_secrets rcert) then begin
         audit t Fraud "forged revocation certificate";
         reply (Error "bad revocation signature")
       end
@@ -1129,7 +1204,7 @@ let request_revocation t ~client_host (rcert : Cert.revocation) k =
         reply (Error "revoker no longer holds the delegating role")
       end
       else begin
-        Credrec.invalidate t.sv_table rcert.Cert.r_target_crr;
+        invalidate_traced t ~reason:"revoke" rcert.Cert.r_target_crr;
         audit t Revocation "delegation revoked";
         reply (Ok ())
       end)
@@ -1142,7 +1217,7 @@ let exit_role t ~client_host (cert : Cert.rmc) k =
       in
       if not (verify_rmc_sig t cert) then reply (Error "bad certificate")
       else begin
-        Credrec.invalidate t.sv_table cert.Cert.crr;
+        invalidate_traced t ~reason:"exit" cert.Cert.crr;
         audit t Exit (Principal.vci_to_string cert.Cert.holder ^ " exited");
         reply (Ok ())
       end)
@@ -1189,7 +1264,8 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
               in
               if eligible = [] then reply (Error "revoker role does not match")
               else begin
-                List.iter (fun (_, rbr) -> Credrec.invalidate t.sv_table rbr) eligible;
+                with_revocation_span t ~reason:"role" (fun () ->
+                    List.iter (fun (_, rbr) -> Credrec.invalidate t.sv_table rbr) eligible);
                 cell := rest;
                 Hashtbl.replace t.sv_blacklist key ();
                 audit t Revocation
@@ -1242,7 +1318,9 @@ let mint_delegation_record t ~delegator_crr ?expires_in ?(revoke_on_exit = false
   in
   Credrec.set_direct_use t.sv_table d_crr true;
   (match expires_in with
-  | Some dt -> Engine.schedule (Net.engine t.sv_net) ~delay:dt (fun () -> Credrec.invalidate t.sv_table d_crr)
+  | Some dt ->
+      Engine.schedule (Net.engine t.sv_net) ~delay:dt (fun () ->
+          invalidate_traced t ~reason:"expire" d_crr)
   | None -> ());
   let r =
     {
@@ -1255,7 +1333,8 @@ let mint_delegation_record t ~delegator_crr ?expires_in ?(revoke_on_exit = false
   in
   (d_crr, Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length r)
 
-let revoke_certificate t (cert : Cert.rmc) = Credrec.invalidate t.sv_table cert.Cert.crr
+let revoke_certificate t (cert : Cert.rmc) =
+  invalidate_traced t ~reason:"certificate" cert.Cert.crr
 
 (* Delegating the right to revoke (§4.4): a special delegation that passes a
    revocation certificate on, under the fixed policy that the recipient must
@@ -1269,7 +1348,7 @@ let delegate_revocation t ~client_host ~rcert ~to_cert k =
       in
       if not (String.equal rcert.Cert.r_service t.sv_name) then
         reply (Error "revocation certificate for another service")
-      else if not (Cert.verify_revocation t.sv_secrets rcert) then
+      else if not (Cert.verify_revocation ~length:t.sv_sig_length t.sv_secrets rcert) then
         reply (Error "bad revocation signature")
       else if String.equal rcert.Cert.r_role "" then
         reply (Error "this revocation certificate cannot be re-delegated")

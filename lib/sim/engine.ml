@@ -31,7 +31,12 @@ let every t ~period ?jitter action =
   let handle = { alive = true; action = (fun () -> ()) } in
   let rec arm () =
     let extra = match jitter with Some j -> j () | None -> 0.0 in
-    schedule t ~delay:(max 0.0 (period +. extra)) (fun () ->
+    (* A pathological jitter ([extra <= -period]) must not re-arm at the
+       current instant: the timer would fire and re-arm at one sim time
+       forever, and [run ~until] would never terminate.  The effective
+       delay is clamped to a positive floor instead. *)
+    let delay = Float.max (0.001 *. period) (period +. extra) in
+    schedule t ~delay (fun () ->
         if handle.alive then begin
           action ();
           if handle.alive then arm ()

@@ -9,6 +9,7 @@ type t = {
   stats : Stats.t;
   prng : Prng.t;
   fault : Fault.t;
+  trace : Trace.t;
   mutable default_latency : latency;
   link_latency : (int * int, latency) Hashtbl.t;
   mutable loss : float;
@@ -26,6 +27,7 @@ let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
     (* The fault plane draws from its own seeded PRNG so chaos schedules
        are independent of message-level randomness. *)
     fault = Fault.create ~seed:(Int64.logxor seed 0xFA17L) engine stats;
+    trace = Trace.create (fun () -> Engine.now engine);
     default_latency = latency;
     link_latency = Hashtbl.create 16;
     loss = 0.0;
@@ -38,6 +40,7 @@ let engine t = t.engine
 let stats t = t.stats
 let prng t = t.prng
 let fault t = t.fault
+let trace t = t.trace
 
 let add_host t ?(clock_rate = 1.0) ?(clock_offset = 0.0) name =
   let host =
@@ -101,6 +104,9 @@ let account t category size =
 
 let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
   account t category size;
+  (* The ambient trace context at send time rides the message and is
+     restored around delivery, so causality survives the latency queue. *)
+  let ctx = Trace.current t.trace in
   if not (Fault.up t.fault src.addr) then
     (* A crashed host emits nothing (fail-stop). *)
     Stats.incr t.stats (category ^ ".dead")
@@ -108,7 +114,7 @@ let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
     (* Liveness of the destination is re-checked at delivery time, so a
        message in flight when its destination crashes is lost too. *)
     let deliver () =
-      if Fault.up t.fault dst.addr then action ()
+      if Fault.up t.fault dst.addr then Trace.with_ctx t.trace ctx action
       else Stats.incr t.stats (category ^ ".dead")
     in
     if src.addr = dst.addr then Engine.schedule t.engine ~delay:0.0 deliver
@@ -120,11 +126,14 @@ let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
 
 let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
   let done_ = ref false in
+  let ctx = Trace.current t.trace in
   Engine.schedule t.engine ~delay:timeout (fun () ->
       if not !done_ then begin
         done_ := true;
         Stats.incr t.stats (category ^ ".timeout");
-        k (Error "timeout")
+        (* The timeout continuation belongs to the caller's causal chain
+           even though no message carried it. *)
+        Trace.with_ctx t.trace ctx (fun () -> k (Error "timeout"))
       end);
   send t ~category ?size ~src ~dst (fun () ->
       let result = handler () in
@@ -142,6 +151,7 @@ let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
 let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(backoff = 0.25)
     ?(max_backoff = 8.0) ~src ~dst handler k =
   if attempts < 1 then invalid_arg "Net.rpc_retry: attempts must be >= 1";
+  let ctx = Trace.current t.trace in
   let rec go n =
     Stats.incr t.stats (category ^ ".attempt");
     rpc t ~category ?size ~timeout ~src ~dst handler (function
@@ -150,7 +160,8 @@ let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(bac
              decorrelate retry storms. *)
           let base = Float.min max_backoff (backoff *. (2.0 ** float_of_int n)) in
           let jitter = Prng.uniform_in t.prng ~lo:0.0 ~hi:(base *. 0.25) in
-          Engine.schedule t.engine ~delay:(base +. jitter) (fun () -> go (n + 1))
+          Engine.schedule t.engine ~delay:(base +. jitter) (fun () ->
+              Trace.with_ctx t.trace ctx (fun () -> go (n + 1)))
       | Error "timeout" ->
           Stats.incr t.stats (category ^ ".giveup");
           k (Error "timeout")

@@ -23,6 +23,12 @@ val fault : t -> Fault.t
     schedules).  Addresses passed to {!Fault} functions are
     {!host_addr}s; the wrappers below cover the common cases. *)
 
+val trace : t -> Trace.t
+(** The network's tracer (disabled by default).  {!send} captures the
+    ambient {!Trace.ctx} at send time and restores it around the delivery
+    closure — and around RPC timeout continuations and retry backoffs — so
+    spans started by a message handler join the sender's trace. *)
+
 val add_host : t -> ?clock_rate:float -> ?clock_offset:float -> string -> host
 val host_name : host -> string
 val host_clock : host -> Clock.t

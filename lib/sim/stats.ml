@@ -1,6 +1,38 @@
-type cell = { mutable count : int; mutable bytes : int; mutable vmax : int }
+(* Latency histograms use fixed log-spaced buckets: bucket [i] holds samples
+   of at most [1e-6 * 2^i] seconds (the last bucket is unbounded).  Fixed
+   boundaries keep observation O(log range), merging trivial, and the
+   percentile error bounded by one octave — plenty for the order-of-magnitude
+   questions the experiments ask. *)
+
+let lat_buckets = 64
+
+let bucket_bound i = 1e-6 *. (2.0 ** float_of_int i)
+
+let bucket_of v =
+  let rec go i bound = if i >= lat_buckets - 1 || v <= bound then i else go (i + 1) (bound *. 2.0) in
+  go 0 1e-6
+
+type lat = { hist : int array; mutable n : int; mutable sum : float; mutable lmax : float }
+
+type cell = {
+  mutable count : int;
+  mutable bytes : int;
+  mutable vmax : int;
+  mutable lat : lat option;  (* allocated on first [observe_latency] *)
+}
 
 type t = (string, cell) Hashtbl.t
+
+type row = {
+  r_cat : string;
+  r_count : int;
+  r_bytes : int;
+  r_max : int;
+  r_samples : int;
+  r_p50 : float;
+  r_p99 : float;
+  r_lat_max : float;
+}
 
 let create () : t = Hashtbl.create 32
 
@@ -8,7 +40,7 @@ let cell t cat =
   match Hashtbl.find_opt t cat with
   | Some c -> c
   | None ->
-      let c = { count = 0; bytes = 0; vmax = 0 } in
+      let c = { count = 0; bytes = 0; vmax = 0; lat = None } in
       Hashtbl.add t cat c;
       c
 
@@ -26,17 +58,109 @@ let observe t cat n =
   c.bytes <- c.bytes + n;
   if n > c.vmax then c.vmax <- n
 
+let observe_latency t cat v =
+  let v = if v < 0.0 || Float.is_nan v then 0.0 else v in
+  let c = cell t cat in
+  let l =
+    match c.lat with
+    | Some l -> l
+    | None ->
+        let l = { hist = Array.make lat_buckets 0; n = 0; sum = 0.0; lmax = 0.0 } in
+        c.lat <- Some l;
+        l
+  in
+  let b = bucket_of v in
+  l.hist.(b) <- l.hist.(b) + 1;
+  l.n <- l.n + 1;
+  l.sum <- l.sum +. v;
+  if v > l.lmax then l.lmax <- v
+
 let count t cat = match Hashtbl.find_opt t cat with Some c -> c.count | None -> 0
 let max_of t cat = match Hashtbl.find_opt t cat with Some c -> c.vmax | None -> 0
 let bytes t cat = match Hashtbl.find_opt t cat with Some c -> c.bytes | None -> 0
+
+let lat_of t cat =
+  match Hashtbl.find_opt t cat with Some { lat = Some l; _ } -> Some l | _ -> None
+
+let latency_samples t cat = match lat_of t cat with Some l -> l.n | None -> 0
+let latency_max t cat = match lat_of t cat with Some l -> l.lmax | None -> 0.0
+
+let percentile t cat p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p must be in [0, 100]";
+  match lat_of t cat with
+  | None -> 0.0
+  | Some l when l.n = 0 -> 0.0
+  | Some l ->
+      let rank = Stdlib.max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int l.n))) in
+      let rec go i seen =
+        let seen = seen + l.hist.(i) in
+        if seen >= rank || i = lat_buckets - 1 then bucket_bound i else go (i + 1) seen
+      in
+      go 0 0
+
 let reset = Hashtbl.reset
 
 let categories t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t [] |> List.sort String.compare
 
-let report t = List.map (fun cat -> (cat, count t cat, bytes t cat)) (categories t)
+let row t cat =
+  {
+    r_cat = cat;
+    r_count = count t cat;
+    r_bytes = bytes t cat;
+    r_max = max_of t cat;
+    r_samples = latency_samples t cat;
+    r_p50 = percentile t cat 50.0;
+    r_p99 = percentile t cat 99.0;
+    r_lat_max = latency_max t cat;
+  }
+
+let report t = List.map (row t) (categories t)
 
 let pp ppf t =
   List.iter
-    (fun (cat, count, bytes) -> Format.fprintf ppf "%-32s %8d msgs %10d bytes@." cat count bytes)
+    (fun r ->
+      Format.fprintf ppf "%-32s %8d msgs %10d bytes" r.r_cat r.r_count r.r_bytes;
+      if r.r_max > 0 then Format.fprintf ppf " max %d" r.r_max;
+      if r.r_samples > 0 then
+        Format.fprintf ppf " lat[n=%d p50=%.6fs p99=%.6fs max=%.6fs]" r.r_samples r.r_p50 r.r_p99
+          r.r_lat_max;
+      Format.fprintf ppf "@.")
     (report t)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\"%s\":{\"count\":%d,\"bytes\":%d,\"max\":%d" (json_escape r.r_cat)
+           r.r_count r.r_bytes r.r_max);
+      if r.r_samples > 0 then begin
+        let mean =
+          match lat_of t r.r_cat with
+          | Some l when l.n > 0 -> l.sum /. float_of_int l.n
+          | _ -> 0.0
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             ",\"latency\":{\"samples\":%d,\"p50\":%.9f,\"p99\":%.9f,\"mean\":%.9f,\"max\":%.9f}"
+             r.r_samples r.r_p50 r.r_p99 mean r.r_lat_max)
+      end;
+      Buffer.add_char b '}')
+    (report t);
+  Buffer.add_string b "}";
+  Buffer.contents b

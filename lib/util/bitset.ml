@@ -42,7 +42,33 @@ let cardinal s =
 
 let compare = Int.compare
 let marshal s = Printf.sprintf "%x" s
-let unmarshal str = int_of_string_opt ("0x" ^ str)
+
+(* Strict inverse of [marshal]: bare lowercase/uppercase hex only.
+   [int_of_string_opt ("0x" ^ str)] would also accept underscores ("1_0")
+   and signs, and silently wrap values wider than the 63-bit word; here any
+   non-hex character or any value with bits above [max_element] is rejected,
+   so [unmarshal] only ever yields sets [marshal] could have produced. *)
+let unmarshal str =
+  let n = String.length str in
+  if n = 0 || n > 16 then None
+  else
+    let rec go i acc =
+      if i = n then Some acc
+      else
+        let d =
+          match str.[i] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | _ -> -1
+        in
+        if d < 0 then None
+          (* The next shift must not push anything past bit 62: [acc] still
+             having headroom means bits 59..62 are clear. *)
+        else if acc lsr 59 <> 0 then None
+        else go (i + 1) ((acc lsl 4) lor d)
+    in
+    go 0 0
 
 let pp ppf s =
   Format.fprintf ppf "{%s}" (String.concat "," (List.map string_of_int (to_list s)))

@@ -26,5 +26,8 @@ val marshal : t -> string
 (** Host-independent encoding (hex of the underlying word). *)
 
 val unmarshal : string -> t option
+(** Strict inverse of {!marshal}: bare hex digits only (no underscores,
+    signs or prefixes), rejecting any value with bits above the maximum
+    element (62).  [None] on anything {!marshal} could not have produced. *)
 
 val pp : Format.formatter -> t -> unit

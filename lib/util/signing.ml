@@ -14,8 +14,11 @@ let sign ?(length = 16) secret payload =
     let h2 = Siphash.hash_hex secret (h1 ^ payload) in
     h1 ^ String.sub h2 0 (length - 16)
 
-let verify ?length secret payload signature =
-  let length = match length with Some n -> n | None -> String.length signature in
+(* The expected length must come from the verifier's configuration, never
+   from the signature being checked: deriving it from the attacker-supplied
+   string would let a 4-hex-char prefix of a valid signature verify against
+   a service configured for 16. *)
+let verify ?(length = 16) secret payload signature =
   String.length signature = length && String.equal (sign ~length secret payload) signature
 
 module Rolling = struct

@@ -19,6 +19,11 @@ val sign : ?length:int -> secret -> string -> signature
     characters (default 16, i.e. 64 bits; up to 32 by double hashing). *)
 
 val verify : ?length:int -> secret -> string -> signature -> bool
+(** [verify ~length secret payload signature] — [length] is the length the
+    {e verifier} expects (default 16, matching {!sign}); a signature of any
+    other length is rejected.  The expected length is never inferred from
+    the signature itself, so a truncated prefix of a valid signature does
+    not verify. *)
 
 (** {1 Rolling secret tables} *)
 

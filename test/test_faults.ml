@@ -9,6 +9,7 @@ module Engine = Oasis_sim.Engine
 module Net = Oasis_sim.Net
 module Fault = Oasis_sim.Fault
 module Stats = Oasis_sim.Stats
+module Trace = Oasis_sim.Trace
 module Event = Oasis_events.Event
 module Broker = Oasis_events.Broker
 module Service = Oasis_core.Service
@@ -452,6 +453,64 @@ let test_batched_chaos_convergence () =
   let d1' = batched_chaos_convergence ~seed:3L in
   checkb "deterministic replay" true (Float.equal d1 d1')
 
+(* Tracing under chaos: the revocation pipeline's causal spans must survive
+   the crash schedule — the batching, the broker's retained-log replay and
+   the reread retries may delay propagation, but every span must still
+   close, and the peer-side completion (digest apply or reread) must land
+   within the same 3-heartbeat bound the convergence tests assert. *)
+let test_chaos_revocation_spans_complete () =
+  let w, login, conf = conference_world ~seed:1003L in
+  let dm, dm_cert, member = member_of_conf w login conf in
+  srun w 2.0;
+  checkb "valid before the chaos" true (Service.validate conf ~client:dm member = Ok ());
+  let f = Net.fault w.s_net in
+  let addr = Net.host_addr (Service.host login) in
+  Fault.chaos f ~hosts:[ addr ] ~mtbf:3.0 ~mttr:1.0 ~until:(Engine.now w.s_engine +. 15.0);
+  srun w 6.0;
+  let tr = Net.trace w.s_net in
+  Trace.set_enabled tr true;
+  Trace.clear tr;
+  Service.revoke_certificate login dm_cert;
+  srun w 9.0;
+  let rec await_heal budget =
+    if Fault.up f addr then Engine.now w.s_engine
+    else if budget <= 0.0 then Alcotest.fail "chaos never healed"
+    else begin
+      srun w 0.05;
+      await_heal (budget -. 0.05)
+    end
+  in
+  let healed = await_heal 5.0 in
+  let deadline = healed +. 3.0 in
+  let rec poll () =
+    if Service.validate conf ~client:dm member = Error Service.Revoked then ()
+    else if Engine.now w.s_engine >= deadline then
+      Alcotest.fail "no convergence within 3 heartbeats of heal"
+    else begin
+      srun w 0.05;
+      poll ()
+    end
+  in
+  poll ();
+  let spans = Trace.spans tr in
+  let finished_by t name =
+    List.exists (fun sp -> Trace.span_name sp = name && Trace.span_end sp <= t) spans
+  in
+  checkb "invalidation span recorded" true (finished_by deadline "revoke.invalidate");
+  checkb "peer-side completion within 3 heartbeats of heal" true
+    (finished_by deadline "revoke.apply" || finished_by deadline "revoke.reread");
+  (* Give any straggling reread retries their full budget, then demand that
+     no revocation span is left open: a leak here means an instrumented
+     code path lost its finish under the fault schedule. *)
+  srun w 25.0;
+  let is_revocation sp =
+    let n = Trace.span_name sp in
+    String.length n >= 7 && String.sub n 0 7 = "revoke."
+  in
+  checkb "no revocation span left open" true
+    (not (List.exists is_revocation (Trace.open_spans tr)));
+  Trace.set_enabled tr false
+
 (* The batched staleness reread is a single rpc_retry carrying every pending
    key.  If the issuer dies again mid-batch, the RPC must exhaust its budget
    (accounted under oasis.reread.giveup) and the whole batch must be retried
@@ -524,6 +583,8 @@ let () =
             test_revocation_converges_after_crash;
           Alcotest.test_case "batched notifications under chaos" `Quick
             test_batched_chaos_convergence;
+          Alcotest.test_case "revocation spans complete under chaos" `Quick
+            test_chaos_revocation_spans_complete;
           Alcotest.test_case "reread gives up mid-batch, batch retried" `Quick
             test_reread_gives_up_and_retries_batch;
         ] );

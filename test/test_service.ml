@@ -348,6 +348,37 @@ let test_delegation_requires_elector_role () =
   run w 2.0;
   checkb "refused" true (match !result with Some (Error _) -> true | _ -> false)
 
+let test_delegation_electorless_role_refused () =
+  (* Regression: a delegation request naming a role whose statements carry no
+     elector used to be able to reach an [assert false] and kill the whole
+     service host.  The request arrives off the wire, so it must be answered
+     with a protocol error and the service must keep serving. *)
+  let w, login, conf = conference_world () in
+  let jmb, jmb_cert = logged_on login "jmb" "ely" in
+  let chair = entry_ok w conf ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  (* "Chair" itself is defined without an elector ("<|*"), so it cannot be
+     delegated — by anyone, including a Chair holder. *)
+  let result = ref None in
+  Service.request_delegation conf ~client_host:w.client_host ~delegator:jmb ~using:chair
+    ~role:"Chair" ~required:[] (fun r -> result := Some r);
+  run w 2.0;
+  checkb "protocol error, not a crash" true
+    (match !result with Some (Error _) -> true | _ -> false);
+  (* The host survived: the service still answers entry requests. *)
+  let jmb2, jmb2_cert = logged_on login "jmb" "cam" in
+  let chair2 = entry_ok w conf ~client:jmb2 ~role:"Chair" ~creds:[ jmb2_cert ] () in
+  checkb "service still alive" true (Service.validate conf ~client:jmb2 chair2 = Ok ())
+
+let test_truncated_certificate_rejected () =
+  (* Regression: verification used to take the expected signature length from
+     the certificate itself, so a truncated signature prefix verified. *)
+  let w, login, conf = conference_world () in
+  let jmb, jmb_cert = logged_on login "jmb" "ely" in
+  let chair = entry_ok w conf ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let forged = { chair with Cert.rmc_sig = String.sub chair.Cert.rmc_sig 0 4 } in
+  checkb "truncated signature is Forged" true
+    (Service.validate conf ~client:jmb forged = Error Service.Forged)
+
 let test_delegation_required_roles_enforced () =
   let w, login, conf = conference_world () in
   Group.add (Service.group conf "staff") (V.Str "dm");
@@ -868,6 +899,10 @@ let () =
           Alcotest.test_case "delegation expiry" `Quick test_delegation_expiry;
           Alcotest.test_case "revoke on exit" `Quick test_delegation_revoke_on_exit;
           Alcotest.test_case "delegation needs elector" `Quick test_delegation_requires_elector_role;
+          Alcotest.test_case "elector-less role refused, host survives" `Quick
+            test_delegation_electorless_role_refused;
+          Alcotest.test_case "truncated certificate rejected" `Quick
+            test_truncated_certificate_rejected;
           Alcotest.test_case "required roles enforced" `Quick test_delegation_required_roles_enforced;
           Alcotest.test_case "delegate revocation right" `Quick test_delegate_revocation_right;
           Alcotest.test_case "revocation right dies with role" `Quick test_delegate_revocation_dies_with_role;

@@ -4,10 +4,16 @@ module Engine = Oasis_sim.Engine
 module Clock = Oasis_sim.Clock
 module Net = Oasis_sim.Net
 module Stats = Oasis_sim.Stats
+module Trace = Oasis_sim.Trace
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checkf = Alcotest.(check (float 1e-9))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
 
 (* --- engine --- *)
 
@@ -76,6 +82,17 @@ let test_engine_every () =
   Engine.run ~until:10.0 e;
   checki "stopped after cancel" 5 !count
 
+let test_engine_every_pathological_jitter () =
+  (* Regression: jitter <= -period used to clamp the re-arm delay to 0.0,
+     re-arming at the same instant forever — [run ~until] never returned.
+     The delay is now clamped to a positive floor, so time advances. *)
+  let e = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.every e ~period:1.0 ~jitter:(fun () -> -5.0) (fun () -> incr count));
+  Engine.run ~until:2.0 e;
+  checkb "terminates with finite fires" true (!count > 0 && !count <= 2001);
+  checkf "time advanced to until" 2.0 (Engine.now e)
+
 let test_engine_negative_delay_clamped () =
   let e = Engine.create () in
   let fired = ref false in
@@ -109,6 +126,152 @@ let test_stats_counting () =
   checki "missing" 0 (Stats.count s "zzz");
   Stats.reset s;
   checki "after reset" 0 (Stats.count s "a")
+
+let test_stats_report_includes_max () =
+  (* Regression: [report]/[pp] used to drop the observed max entirely. *)
+  let s = Stats.create () in
+  Stats.observe s "batch" 3;
+  Stats.observe s "batch" 11;
+  Stats.observe s "batch" 7;
+  checki "max_of" 11 (Stats.max_of s "batch");
+  match Stats.report s with
+  | [ r ] ->
+      Alcotest.(check string) "category" "batch" r.Stats.r_cat;
+      checki "count" 3 r.Stats.r_count;
+      checki "max surfaced in report" 11 r.Stats.r_max
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_stats_latency_histogram () =
+  let s = Stats.create () in
+  List.iter (fun v -> Stats.observe_latency s "lat" v) [ 0.001; 0.002; 0.004; 0.008; 0.8 ];
+  checki "samples" 5 (Stats.latency_samples s "lat");
+  checkf "exact max kept" 0.8 (Stats.latency_max s "lat");
+  (* Bucket upper bounds are 1e-6 * 2^i: percentiles are exact to an octave. *)
+  let p50 = Stats.percentile s "lat" 50.0 in
+  checkb "p50 brackets the median" true (p50 >= 0.002 && p50 <= 0.008);
+  let p99 = Stats.percentile s "lat" 99.0 in
+  checkb "p99 brackets the max" true (p99 >= 0.8 && p99 <= 1.6);
+  checkf "no samples" 0.0 (Stats.percentile s "other" 50.0);
+  Alcotest.check_raises "percentile out of range"
+    (Invalid_argument "Stats.percentile: p must be in [0, 100]") (fun () ->
+      ignore (Stats.percentile s "lat" 101.0));
+  (* Negative and NaN samples are clamped, not dropped or propagated. *)
+  Stats.observe_latency s "lat" (-1.0);
+  Stats.observe_latency s "lat" Float.nan;
+  checki "clamped samples counted" 7 (Stats.latency_samples s "lat");
+  (* The latency summary rides the report rows and the JSON snapshot. *)
+  (match List.find_opt (fun r -> r.Stats.r_cat = "lat") (Stats.report s) with
+  | Some r ->
+      checki "row samples" 7 r.Stats.r_samples;
+      checkb "row p99 positive" true (r.Stats.r_p99 > 0.0)
+  | None -> Alcotest.fail "lat row missing");
+  let js = Stats.to_json s in
+  checkb "json has latency member" true (contains js "\"latency\"")
+
+(* --- trace --- *)
+
+let test_trace_disabled_noop () =
+  let now = ref 0.0 in
+  let tr = Trace.create (fun () -> !now) in
+  checkb "disabled by default" false (Trace.enabled tr);
+  let sp = Trace.start tr "x" in
+  Trace.finish tr sp;
+  checkb "no spans recorded" true (Trace.spans tr = []);
+  checkb "no ambient ctx" true (Trace.current tr = None);
+  checki "nothing dropped" 0 (Trace.dropped tr)
+
+let test_trace_parenting_and_duration () =
+  let now = ref 1.0 in
+  let tr = Trace.create (fun () -> !now) in
+  Trace.set_enabled tr true;
+  let root = Trace.start tr "root" in
+  Trace.add_attr root "k" "v";
+  now := 2.0;
+  let child = Trace.start tr ~parent:(Trace.ctx_of root) "child" in
+  now := 3.5;
+  Trace.finish tr child;
+  now := 4.0;
+  Trace.finish tr root;
+  match Trace.spans tr with
+  | [ c; r ] ->
+      Alcotest.(check string) "child first (finish order)" "child" (Trace.span_name c);
+      checkb "same trace" true (Trace.span_trace c = Trace.span_trace r);
+      checkb "child parented to root" true (Trace.span_parent c = Some (Trace.span_id r));
+      checkb "root has no parent" true (Trace.span_parent r = None);
+      checkf "child duration" 1.5 (Trace.duration c);
+      checkf "root duration" 3.0 (Trace.duration r);
+      checkb "attr kept" true (List.mem_assoc "k" (Trace.span_attrs r));
+      checkf "origin is root start" 1.0 (Trace.origin (Trace.ctx_of c));
+      checkf "since_origin" 3.0 (Trace.since_origin tr (Trace.ctx_of c))
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_trace_ctx_rides_net_send () =
+  let e = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.25) e in
+  let tr = Net.trace net in
+  Trace.set_enabled tr true;
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  let remote_ctx = ref None in
+  Trace.with_span tr "send-side" (fun () ->
+      Net.send net ~src:a ~dst:b (fun () -> remote_ctx := Trace.current tr));
+  Engine.run e;
+  (match (!remote_ctx, Trace.spans tr) with
+  | Some ctx, [ s ] ->
+      checkb "delivery sees sender's trace" true
+        (Trace.origin ctx = Trace.span_start s && Trace.span_name s = "send-side")
+  | None, _ -> Alcotest.fail "ambient context did not ride the message"
+  | Some _, l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  checkb "ctx cleared outside delivery" true (Trace.current tr = None)
+
+let test_trace_ctx_rides_rpc_retry () =
+  let e = Engine.create () in
+  let net = Net.create ~latency:(Net.Fixed 0.01) e in
+  let tr = Net.trace net in
+  Trace.set_enabled tr true;
+  let a = Net.add_host net "a" and b = Net.add_host net "b" in
+  Net.partition net a b;
+  Engine.schedule e ~delay:2.0 (fun () -> Net.heal net a b);
+  let seen = ref None in
+  Trace.with_span tr "origin" (fun () ->
+      Net.rpc_retry net ~timeout:0.5 ~src:a ~dst:b
+        (fun () ->
+          seen := Trace.current tr;
+          Ok ())
+        (fun _ -> ()));
+  Engine.run ~until:30.0 e;
+  checkb "retried rpc still carries the originating ctx" true (!seen <> None)
+
+let test_trace_ring_bound () =
+  let now = ref 0.0 in
+  let tr = Trace.create ~capacity:4 (fun () -> !now) in
+  Trace.set_enabled tr true;
+  for i = 1 to 10 do
+    now := float_of_int i;
+    let sp = Trace.start tr (Printf.sprintf "s%d" i) in
+    Trace.finish tr sp
+  done;
+  let kept = Trace.spans tr in
+  checki "ring keeps capacity" 4 (List.length kept);
+  checki "evictions counted" 6 (Trace.dropped tr);
+  Alcotest.(check (list string)) "oldest evicted, order kept" [ "s7"; "s8"; "s9"; "s10" ]
+    (List.map Trace.span_name kept);
+  Trace.clear tr;
+  checki "clear resets" 0 (Trace.dropped tr);
+  checkb "clear empties" true (Trace.spans tr = [])
+
+let test_trace_json_shape () =
+  let now = ref 0.0 in
+  let tr = Trace.create (fun () -> !now) in
+  Trace.set_enabled tr true;
+  let sp = Trace.start tr "na\"me" in
+  Trace.add_attr sp "key" "va\\lue";
+  now := 0.5;
+  Trace.finish tr sp;
+  let js = Trace.to_json tr in
+  checkb "dropped field" true (contains js "\"dropped\":0");
+  checkb "escaped name" true (contains js "na\\\"me");
+  checkb "escaped attr" true (contains js "va\\\\lue");
+  checkb "start field" true (contains js "\"start\":")
 
 (* --- net --- *)
 
@@ -237,10 +400,26 @@ let () =
           Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
           Alcotest.test_case "cancel timer" `Quick test_engine_cancel_timer;
           Alcotest.test_case "every" `Quick test_engine_every;
+          Alcotest.test_case "every survives pathological jitter" `Quick
+            test_engine_every_pathological_jitter;
           Alcotest.test_case "negative delay clamped" `Quick test_engine_negative_delay_clamped;
         ] );
       ("clock", [ Alcotest.test_case "drift and offset" `Quick test_clock_drift ]);
-      ("stats", [ Alcotest.test_case "counting" `Quick test_stats_counting ]);
+      ( "stats",
+        [
+          Alcotest.test_case "counting" `Quick test_stats_counting;
+          Alcotest.test_case "report includes max" `Quick test_stats_report_includes_max;
+          Alcotest.test_case "latency histogram" `Quick test_stats_latency_histogram;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_trace_disabled_noop;
+          Alcotest.test_case "parenting and duration" `Quick test_trace_parenting_and_duration;
+          Alcotest.test_case "ctx rides Net.send" `Quick test_trace_ctx_rides_net_send;
+          Alcotest.test_case "ctx rides rpc_retry" `Quick test_trace_ctx_rides_rpc_retry;
+          Alcotest.test_case "ring bound" `Quick test_trace_ring_bound;
+          Alcotest.test_case "json shape" `Quick test_trace_json_shape;
+        ] );
       ( "net",
         [
           Alcotest.test_case "send latency" `Quick test_net_send_latency;

@@ -147,6 +147,22 @@ let test_sign_key_separation () =
   let signature = Signing.sign s1 "data" in
   checkb "wrong key fails" false (Signing.verify s2 "data" signature)
 
+let test_verify_rejects_truncated () =
+  (* Regression: verify used to take the expected length from the presented
+     signature, so a prefix of a valid signature verified.  The expected
+     length must come from the verifier's configuration. *)
+  let s = Signing.secret_of_string "hunter2" in
+  let signature = Signing.sign ~length:16 s "hello" in
+  checkb "full signature verifies" true (Signing.verify ~length:16 s "hello" signature);
+  List.iter
+    (fun len ->
+      checkb
+        (Printf.sprintf "truncated to %d rejected" len)
+        false
+        (Signing.verify ~length:16 s "hello" (String.sub signature 0 len)))
+    [ 4; 8; 15 ];
+  checkb "default length is 16" false (Signing.verify s "hello" (String.sub signature 0 4))
+
 let test_rolling_basic () =
   let t = Signing.Rolling.create (Prng.create 1L) in
   let signature = Signing.Rolling.sign t "payload" in
@@ -173,6 +189,15 @@ let test_rolling_garbage_signature () =
   let t = Signing.Rolling.create (Prng.create 4L) in
   checkb "garbage rejected" false (Signing.Rolling.verify t "p" "zzzz");
   checkb "short rejected" false (Signing.Rolling.verify t "p" "ab")
+
+let test_rolling_rejects_truncated () =
+  let t = Signing.Rolling.create (Prng.create 5L) in
+  let signature = Signing.Rolling.sign ~length:16 t "payload" in
+  checkb "full verifies" true (Signing.Rolling.verify ~length:16 t "payload" signature);
+  checkb "truncated rejected" false
+    (Signing.Rolling.verify ~length:16 t "payload" (String.sub signature 0 4));
+  checkb "truncated rejected at default" false
+    (Signing.Rolling.verify t "payload" (String.sub signature 0 4))
 
 (* --- bitset --- *)
 
@@ -227,6 +252,32 @@ let test_bitset_range () =
 let test_bitset_cardinal () =
   checki "cardinal" 3 (Bitset.cardinal (Bitset.of_list [ 1; 5; 30 ]));
   checki "empty" 0 (Bitset.cardinal Bitset.empty)
+
+let test_bitset_unmarshal_strict () =
+  (* Regression: unmarshal used [int_of_string_opt ("0x" ^ s)], which accepts
+     underscores anywhere and hex wider than the 0..62 domain. *)
+  let rejects s = checkb (Printf.sprintf "%S rejected" s) true (Bitset.unmarshal s = None) in
+  rejects "";
+  rejects "1_0";
+  rejects "_1";
+  rejects "0x1";
+  rejects "zz";
+  rejects "-1";
+  rejects " 1";
+  rejects "8000000000000000";  (* bit 63: out of domain *)
+  rejects "ffffffffffffffff";
+  rejects "10000000000000000" (* 17 digits: wider than 64 bits *);
+  (* The full 0..62 set is the widest legal value. *)
+  (match Bitset.unmarshal "7fffffffffffffff" with
+  | Some s -> checki "full set cardinal" 63 (Bitset.cardinal s)
+  | None -> Alcotest.fail "full 0..62 set must unmarshal");
+  (* Mixed-case hex and high single elements still roundtrip. *)
+  (match Bitset.unmarshal (Bitset.marshal (Bitset.singleton 62)) with
+  | Some s -> checkb "bit 62 roundtrips" true (Bitset.mem 62 s)
+  | None -> Alcotest.fail "bit 62 must roundtrip");
+  match Bitset.unmarshal "aB3" with
+  | Some s -> checkb "mixed case accepted" true (Bitset.equal s (Bitset.of_list [ 0; 1; 4; 5; 7; 9; 11 ]))
+  | None -> Alcotest.fail "mixed-case hex must parse"
 
 (* --- pqueue --- *)
 
@@ -318,10 +369,12 @@ let () =
           Alcotest.test_case "lengths" `Quick test_sign_lengths;
           Alcotest.test_case "length bounds" `Quick test_sign_length_bounds;
           Alcotest.test_case "key separation" `Quick test_sign_key_separation;
+          Alcotest.test_case "truncated signature rejected" `Quick test_verify_rejects_truncated;
           Alcotest.test_case "rolling basic" `Quick test_rolling_basic;
           Alcotest.test_case "rolling retires old" `Quick test_rolling_old_secret_survives_within_capacity;
           Alcotest.test_case "rolling new signs" `Quick test_rolling_new_secret_signs;
           Alcotest.test_case "rolling garbage" `Quick test_rolling_garbage_signature;
+          Alcotest.test_case "rolling truncated rejected" `Quick test_rolling_rejects_truncated;
         ] );
       ( "bitset",
         [
@@ -333,6 +386,7 @@ let () =
           qt prop_bitset_to_list_sorted;
           Alcotest.test_case "range errors" `Quick test_bitset_range;
           Alcotest.test_case "cardinal" `Quick test_bitset_cardinal;
+          Alcotest.test_case "strict unmarshal" `Quick test_bitset_unmarshal_strict;
         ] );
       ( "pqueue",
         [
