@@ -83,6 +83,8 @@ and server = {
   mutable b_on_tick : (unit -> unit) list;
   mutable b_hb_timer : Engine.timer option;
   mutable b_stopped : bool;
+  b_wal : Oasis_store.Wal.t option;  (* durable retained-event log *)
+  mutable b_wal_signals : int;  (* appends since last compaction *)
 }
 
 type registration = {
@@ -97,8 +99,70 @@ let server_heartbeat srv = srv.b_heartbeat
 let sessions srv = List.length srv.b_sessions
 let session_server s = s.s_server
 
+let purge_retained srv =
+  let now = Engine.now (Net.engine srv.b_net) in
+  let rec go () =
+    match Queue.peek_opt srv.b_retained with
+    | Some (t, _) when now -. t > srv.b_retention ->
+        ignore (Queue.pop srv.b_retained);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* --- durable retained-event log codec (used with [~disk]) ---
+
+   One WAL record per retained event.  Fields are joined with ['\x1f'];
+   strings are hex-encoded so arbitrary payload bytes cannot collide with
+   the separator, and floats use the hexadecimal [%h] form for exact
+   round-trips.  The decoder is total: a record it cannot parse is
+   skipped (the WAL framing already discards torn bytes, so this only
+   guards against a log written by a different version). *)
+
+let hex_enc = Oasis_util.Hex.encode
+let hex_dec = Oasis_util.Hex.decode
+
+let encode_retained (t, (e : Event.t)) =
+  String.concat "\x1f"
+    [
+      Printf.sprintf "%h" t;
+      hex_enc e.Event.name;
+      hex_enc e.Event.source;
+      Printf.sprintf "%h" e.Event.stamp;
+      string_of_int e.Event.seq;
+      String.concat "\x1e"
+        (Array.to_list (Array.map (fun v -> hex_enc (Oasis_rdl.Value.marshal v)) e.Event.params));
+    ]
+
+let decode_retained line =
+  match String.split_on_char '\x1f' line with
+  | [ t; name; source; stamp; seq; params ] ->
+      let ( let* ) = Option.bind in
+      let* t = float_of_string_opt t in
+      let* name = hex_dec name in
+      let* source = hex_dec source in
+      let* stamp = float_of_string_opt stamp in
+      let* seq = int_of_string_opt seq in
+      let param_fields = if params = "" then [] else String.split_on_char '\x1e' params in
+      let rec decode_params acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest ->
+            let* raw = hex_dec p in
+            let* v = Oasis_rdl.Value.unmarshal raw in
+            decode_params (v :: acc) rest
+      in
+      let* params = decode_params [] param_fields in
+      Some (t, Event.make ~name ~source ~stamp ~seq params)
+  | _ -> None
+
 let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(retention = 10.0)
-    ?(horizon_lag = 0.0) ?(coalesce = false) () =
+    ?(horizon_lag = 0.0) ?(coalesce = false) ?disk () =
+  let wal =
+    match disk with
+    | None -> None
+    | Some disk ->
+        Some (Oasis_store.Wal.create disk ~file:(Printf.sprintf "broker.%s.wal" name) ())
+  in
   let srv =
     {
       b_net = net;
@@ -120,16 +184,40 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
       b_on_tick = [];
       b_hb_timer = None;
       b_stopped = false;
+      b_wal = wal;
+      b_wal_signals = 0;
     }
   in
   (* A host crash loses the server's volatile state: live sessions and
-     their delivery buffers.  The retained-event log models stable storage
-     and survives, as do the monotone event-seq / session-id / stamp
-     counters (a restart must not reuse identifiers still held by old
+     their delivery buffers.  Without [~disk] the retained-event log is
+     assumed to sit on stable storage and survives by fiat; with [~disk]
+     it lives in the simulated device's WAL, so the in-memory copy is
+     dropped here and rebuilt from the durable bytes on restart (events
+     whose group commit had not completed are genuinely lost — the
+     durability window the e17 experiment measures).  The monotone
+     event-seq / session-id / stamp counters survive either way (tiny
+     NVRAM: a restart must not reuse identifiers still held by old
      clients). *)
   Net.on_crash net host (fun () ->
       srv.b_sessions <- [];
-      Hashtbl.reset srv.b_creds);
+      Hashtbl.reset srv.b_creds;
+      if Option.is_some srv.b_wal then Queue.clear srv.b_retained);
+  (match wal with
+  | None -> ()
+  | Some w ->
+      Net.on_restart net host (fun () ->
+          Queue.clear srv.b_retained;
+          List.iter
+            (fun line ->
+              match decode_retained line with
+              | Some (t, e) ->
+                  Queue.push (t, e) srv.b_retained;
+                  if e.Event.seq >= srv.b_seq then srv.b_seq <- e.Event.seq + 1;
+                  if e.Event.stamp > srv.b_last_stamp then srv.b_last_stamp <- e.Event.stamp
+              | None -> ())
+            (Oasis_store.Wal.recover w);
+          purge_retained srv;
+          srv.b_wal_signals <- 0));
   (* Heartbeats to every live session.  Tick hooks run first, so payloads
      they produce (e.g. a service's invalidation digest) are matched into
      the per-session coalesce buffers and ride this very tick; a session
@@ -321,17 +409,6 @@ let set_registration_filter srv f = srv.b_reg_filter <- f
 let server_horizon srv =
   Clock.read (Net.host_clock srv.b_host) -. srv.b_horizon_lag
 
-let purge_retained srv =
-  let now = Engine.now (Net.engine srv.b_net) in
-  let rec go () =
-    match Queue.peek_opt srv.b_retained with
-    | Some (t, _) when now -. t > srv.b_retention ->
-        ignore (Queue.pop srv.b_retained);
-        go ()
-    | _ -> ()
-  in
-  go ()
-
 let push_delivery srv ss items =
   let d = { d_seq = ss.ss_seq; d_items = items; d_horizon = server_horizon srv } in
   ss.ss_seq <- ss.ss_seq + 1;
@@ -353,7 +430,23 @@ let signal srv ?stamp name params =
   let event = Event.make ~name ~source:srv.b_name ~stamp ~seq:srv.b_seq params in
   srv.b_seq <- srv.b_seq + 1;
   purge_retained srv;
-  Queue.push (Engine.now (Net.engine srv.b_net), event) srv.b_retained;
+  let now = Engine.now (Net.engine srv.b_net) in
+  Queue.push (now, event) srv.b_retained;
+  (match srv.b_wal with
+  | None -> ()
+  | Some w ->
+      Oasis_store.Wal.append w (encode_retained (now, event));
+      srv.b_wal_signals <- srv.b_wal_signals + 1;
+      (* Compaction: the log otherwise grows without bound while the
+         in-memory queue stays at one retention window; rewrite it to the
+         currently-retained suffix every so often (atomic, crash-safe). *)
+      if srv.b_wal_signals >= 256 then begin
+        srv.b_wal_signals <- 0;
+        let records =
+          Queue.fold (fun acc it -> encode_retained it :: acc) [] srv.b_retained |> List.rev
+        in
+        Oasis_store.Wal.rewrite w records (fun () -> ())
+      end);
   List.iter
     (fun ss ->
       if ss.ss_live then

@@ -44,11 +44,22 @@ val create_server :
   ?retention:float ->
   ?horizon_lag:float ->
   ?coalesce:bool ->
+  ?disk:Oasis_store.Disk.t ->
   unit ->
   server
 (** Defaults: heartbeat 1.0 s, ack every 4 heartbeats, retention 10 s of
     events for retrospective registration, horizon lag 0 (events are
     signalled with monotone stamps), coalescing off.
+
+    With [~disk], the retained-event log is durable: every signalled
+    event is appended to a write-ahead log ([broker.<name>.wal]) on the
+    given simulated device.  A host crash then drops the in-memory
+    retained queue and a restart rebuilds it from the durable bytes —
+    events whose group commit had not completed by the crash are
+    genuinely lost, which is the honest durability window of group
+    commit.  The log is compacted (atomically rewritten to the retained
+    suffix) every 256 signals.  Without [~disk] the retained log is
+    assumed to survive crashes by fiat, as before.
 
     With [~coalesce:true], matched events are not delivered immediately:
     they are buffered per session and flushed on the next heartbeat tick as

@@ -390,6 +390,117 @@ let gc_sweep t =
     !candidates;
   !reclaimed
 
+(* --- Durable recovery support (lib/store) ---
+
+   [forget] models a crash taking a record with it: the slot is freed
+   without bumping the magic (so a persisted reference can later be
+   [restore]d at the same identity), every child now holds a dangling
+   reference — which reads permanently False — and that frozen
+   contribution is baked into the child exactly as {!gc_sweep} bakes
+   permanent parents.  [restore] re-materialises a slot at a persisted
+   [(index, magic)] so that references embedded in certificates held by
+   remote parties resolve again after recovery.  Recovery must restore
+   {e every} persisted reference (including ones it will immediately
+   invalidate) before allocating fresh records, otherwise a fresh
+   allocation could reuse a persisted identity. *)
+
+let forget t r =
+  match get t r with
+  | None -> ()
+  | Some slot ->
+      let old_st = slot.st in
+      (* Unlink from every parent in O(1) per edge via the back index. *)
+      Hashtbl.iter
+        (fun eid parent_ref ->
+          t.edge_ops <- t.edge_ops + 1;
+          match get t parent_ref with
+          | Some p -> Hashtbl.remove p.children eid
+          | None -> ())
+        slot.in_edges;
+      Hashtbl.reset slot.in_edges;
+      let edges = Hashtbl.fold (fun eid e acc -> (eid, e) :: acc) slot.children [] in
+      Hashtbl.reset slot.children;
+      slot.ph_true <- 0;
+      slot.ph_false <- 0;
+      slot.used <- false;
+      slot.hooks <- [];
+      slot.direct_use <- false;
+      t.free <- r.index :: t.free;
+      (* Children see a dangling (permanently-False) reference from now on;
+         bake the frozen contribution, forcing the child permanent when the
+         dangling value pins its operator. *)
+      List.iter
+        (fun (eid, (child_ref, negated)) ->
+          match get t child_ref with
+          | None -> ()
+          | Some child ->
+              unlink_in_edge t child eid;
+              child.n_parents <- child.n_parents - 1;
+              (match seen_through negated old_st with
+              | True -> child.p_true <- child.p_true - 1
+              | False -> child.p_false <- child.p_false - 1
+              | Unknown -> child.p_unknown <- child.p_unknown - 1);
+              let frozen = seen_through negated False in
+              if frozen = forcing_input child.op then begin
+                if not child.permanent then begin
+                  let old_state = child.st in
+                  child.st <-
+                    (match child.op with
+                    | And | Or -> frozen
+                    | Nand | Nor -> seen_through true frozen);
+                  child.permanent <- true;
+                  cascade t child ~old_state
+                end
+              end
+              else recompute t child)
+        edges
+
+let restore t r =
+  if r.index < 0 || r.magic <= 0 then false
+  else begin
+    if r.index >= Array.length t.slots then begin
+      let n = ref (Array.length t.slots) in
+      while r.index >= !n do
+        n := 2 * !n
+      done;
+      let bigger = Array.init !n (fun _ -> blank ()) in
+      Array.blit t.slots 0 bigger 0 (Array.length t.slots);
+      t.slots <- bigger
+    end;
+    let slot = t.slots.(r.index) in
+    if r.index < t.high_water && (slot.used || slot.magic > r.magic) then false
+    else begin
+      if r.index >= t.high_water then begin
+        for i = t.high_water to r.index - 1 do
+          t.free <- i :: t.free
+        done;
+        t.high_water <- r.index + 1
+      end
+      else t.free <- List.filter (fun i -> i <> r.index) t.free;
+      slot.used <- true;
+      slot.magic <- r.magic;
+      (* An empty And record: no parents, so it computes True — the caller
+         re-attaches dependency parents (or invalidates it) afterwards. *)
+      slot.is_leaf <- false;
+      slot.op <- And;
+      slot.n_parents <- 0;
+      slot.p_true <- 0;
+      slot.p_false <- 0;
+      slot.p_unknown <- 0;
+      Hashtbl.reset slot.children;
+      Hashtbl.reset slot.in_edges;
+      slot.ph_true <- 0;
+      slot.ph_false <- 0;
+      slot.st <- True;
+      slot.permanent <- false;
+      slot.direct_use <- false;
+      slot.auto_revoke <- false;
+      slot.hooks <- [];
+      slot.gen <- 0;
+      true
+    end
+  end
+
 let live_records t =
   let n = ref 0 in
   for i = 0 to t.high_water - 1 do

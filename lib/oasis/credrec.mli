@@ -92,6 +92,26 @@ val gc_sweep : table -> int
 
 val live_records : table -> int
 
+(** {1 Durable recovery (lib/store)} *)
+
+val forget : table -> cref -> unit
+(** Model a crash taking the record with it: free the slot {e without}
+    bumping its magic, so the same reference can later be {!restore}d.
+    Children are detached as if the reference dangled — a frozen
+    permanently-False contribution is baked in, forcing the child
+    permanent when False pins its operator (And/Nand). *)
+
+val restore : table -> cref -> bool
+(** Re-materialise a slot at a persisted [(index, magic)] identity so
+    that references embedded in certificates held by remote parties
+    resolve again after recovery.  The slot comes back as an empty
+    (parentless, state [True]) And record; the caller re-attaches
+    dependency parents or invalidates it.  Returns [false] when the
+    identity cannot be honoured (slot in use, or its magic has moved
+    past the persisted one).  Recovery must restore every persisted
+    reference before allocating fresh records, lest a fresh allocation
+    reuse a persisted identity. *)
+
 (** {1 Introspection (tests and benches)} *)
 
 val children_count : table -> cref -> int

@@ -15,6 +15,10 @@ module Engine = Oasis_sim.Engine
 module Clock = Oasis_sim.Clock
 module Broker = Oasis_events.Broker
 module Event = Oasis_events.Event
+module Disk = Oasis_store.Disk
+module Wal = Oasis_store.Wal
+module Snapshot = Oasis_store.Snapshot
+module Hex = Oasis_util.Hex
 
 type value = Value.t
 
@@ -58,6 +62,45 @@ type peer_link = {
    credential record seen through an optional negation. *)
 type compiled = Const of bool | Ref of Credrec.cref * bool  (* negated *)
 
+(* --- durable-state plane (§4.11 databases + issued memberships) ---
+
+   With [~disk] the service journals the facts it promises to remember
+   across failures — §4.11's hire/fire databases (the blacklist) and the
+   certificates it has issued — to a write-ahead log on simulated stable
+   storage, checkpointed by snapshots.  What a certificate's validity
+   {e depends on} is recorded as a small dependency list so recovery can
+   re-materialise the credential-record subgraph backing issued
+   certificates; delegation ties and group-derived residuals are NOT
+   persisted (a recovered record that depended on them reads the dangling
+   reference as permanently False — fail closed, per the reference-magic
+   convention). *)
+
+type dep =
+  | Dext of string * string  (* issuing peer service, remote record key *)
+  | Dloc of string  (* key of a local record (itself issued/durable) *)
+
+type issued = {
+  mutable i_alive : bool;  (* False once explicitly invalidated *)
+  i_deps : dep list;
+  i_rbrs : (string * string * string) list;
+      (* (role, marshalled args, revoker role): §4.11 revocation arms to
+         re-create on recovery *)
+}
+
+type durable = {
+  du_disk : Disk.t;
+  du_wal : Wal.t;
+  du_snap : Snapshot.t;
+  du_snapshot_every : int;
+  du_issued : (string, issued) Hashtbl.t;  (* marshalled local ref -> record *)
+  mutable du_appends : int;  (* WAL appends since the last snapshot *)
+  mutable du_tail : string list;
+      (* newest-first records appended since the last checkpoint's
+         serialize point — exactly what the log must still hold once that
+         checkpoint's snapshot is durable *)
+  mutable du_compacting : bool;  (* a snapshot+rewrite cycle is in flight *)
+}
+
 type t = {
   sv_net : Net.t;
   sv_host : Net.host;
@@ -91,6 +134,7 @@ type t = {
       (* trace context ambient when each pending mod was recorded, so the
          digest flush can join the revocation trace that caused it *)
   sv_residuals : (string, compiled) Cache.t;
+  sv_durable : durable option;
   mutable sv_crypto_checks : int;
   mutable sv_cache_hits : int;
 }
@@ -119,6 +163,151 @@ let audit t kind detail = t.sv_audit <- { at = now t; kind; detail } :: t.sv_aud
 let stats t = Net.stats t.sv_net
 let tracer t = Net.trace t.sv_net
 
+(* --- write-ahead-log records for the durable plane ---
+
+   One record per logged transition; fields are separated by ['\x1f'],
+   list items by ['\x1e'], item subfields by ['\x1d'].  Free-form bytes
+   (role names, marshalled argument strings, peer names) are hex-encoded
+   so they cannot collide with the separators; record keys are already
+   separator-free ([Credrec.marshal_ref] is hex plus a dot).  The grammar:
+
+   - [F role args]       fire: blacklist the role instance (§4.11)
+   - [H role args]       re-hire: drop the blacklist entry
+   - [I key deps rbrs]   certificate issued over record [key]
+   - [V key]             record [key] explicitly invalidated
+
+   A snapshot payload is the same records (current blacklist, then each
+   issued record followed by its [V] if dead) joined with ['\x1c'];
+   replaying the full log over a snapshot is idempotent because every
+   record is an upsert. *)
+
+let rec_fire (role, argskey) = String.concat "\x1f" [ "F"; Hex.encode role; Hex.encode argskey ]
+let rec_hire (role, argskey) = String.concat "\x1f" [ "H"; Hex.encode role; Hex.encode argskey ]
+let rec_invalidate key = String.concat "\x1f" [ "V"; key ]
+
+let enc_dep = function
+  | Dext (peer, rkey) -> String.concat "\x1d" [ "E"; Hex.encode peer; rkey ]
+  | Dloc key -> String.concat "\x1d" [ "L"; key ]
+
+let dec_dep s =
+  match String.split_on_char '\x1d' s with
+  | [ "E"; peer; rkey ] -> Option.map (fun p -> Dext (p, rkey)) (Hex.decode peer)
+  | [ "L"; key ] -> Some (Dloc key)
+  | _ -> None
+
+let enc_rbr (role, argskey, revoker) =
+  String.concat "\x1d" [ Hex.encode role; Hex.encode argskey; Hex.encode revoker ]
+
+let dec_rbr s =
+  match String.split_on_char '\x1d' s with
+  | [ role; argskey; revoker ] ->
+      let ( let* ) = Option.bind in
+      let* role = Hex.decode role in
+      let* argskey = Hex.decode argskey in
+      let* revoker = Hex.decode revoker in
+      Some (role, argskey, revoker)
+  | _ -> None
+
+let rec_issue key deps rbrs =
+  String.concat "\x1f"
+    [
+      "I";
+      key;
+      String.concat "\x1e" (List.map enc_dep deps);
+      String.concat "\x1e" (List.map enc_rbr rbrs);
+    ]
+
+let split_items s = if s = "" then [] else String.split_on_char '\x1e' s
+
+(* Apply one log record to the durable mirror (blacklist + issued table).
+   Total and idempotent: recovery replays snapshot then log in order. *)
+let apply_record t du line =
+  match String.split_on_char '\x1f' line with
+  | [ "F"; role; argskey ] -> (
+      match (Hex.decode role, Hex.decode argskey) with
+      | Some role, Some argskey -> Hashtbl.replace t.sv_blacklist (role, argskey) ()
+      | _ -> ())
+  | [ "H"; role; argskey ] -> (
+      match (Hex.decode role, Hex.decode argskey) with
+      | Some role, Some argskey -> Hashtbl.remove t.sv_blacklist (role, argskey)
+      | _ -> ())
+  | [ "I"; key; deps; rbrs ] ->
+      let deps = List.filter_map dec_dep (split_items deps) in
+      let rbrs = List.filter_map dec_rbr (split_items rbrs) in
+      Hashtbl.replace du.du_issued key { i_alive = true; i_deps = deps; i_rbrs = rbrs }
+  | [ "V"; key ] -> (
+      match Hashtbl.find_opt du.du_issued key with
+      | Some i -> i.i_alive <- false
+      | None -> ())
+  | _ -> ()
+
+(* Dead issued records are dropped from the checkpoint (and purged from
+   the in-memory mirror), so the snapshot stays O(live state) under churn
+   instead of O(history).  Dropping is safe: a dropped identity is never
+   restored, so references to it dangle and read permanently False — the
+   paper's licence to delete records whose value is false forever — and a
+   later fresh allocation of the slot bumps the magic past the dropped
+   identity, so old references cannot resurrect against new records. *)
+let serialize_mirror t du =
+  let dead =
+    Hashtbl.fold (fun key i acc -> if i.i_alive then acc else key :: acc) du.du_issued []
+  in
+  List.iter (Hashtbl.remove du.du_issued) dead;
+  let fires =
+    Hashtbl.fold (fun key () acc -> rec_fire key :: acc) t.sv_blacklist []
+    |> List.sort String.compare
+  in
+  let issues =
+    Hashtbl.fold (fun key i acc -> rec_issue key i.i_deps i.i_rbrs :: acc) du.du_issued []
+    |> List.sort String.compare
+  in
+  String.concat "\x1c" (fires @ issues)
+
+(* Checkpoint: serialize the mirror (covering every record up to this
+   instant), save it, then compact the log down to the records appended
+   since the serialize point — [du_tail], which keeps accumulating while
+   the snapshot write is in flight, and whose racing appends also survive
+   the rewrite's atomic replace by {!Disk.write_atomic}'s append-preserving
+   semantics.  Crash windows are safe at every step: before the snapshot
+   is durable the old snapshot + old log recover; between snapshot and
+   rewrite the new snapshot + old log recover (the log is a contiguous
+   history suffix reaching past the snapshot point, so in-order replay
+   over the snapshot converges on the pre-crash state). *)
+let maybe_snapshot t du =
+  if du.du_appends >= du.du_snapshot_every && not du.du_compacting then begin
+    du.du_appends <- 0;
+    du.du_compacting <- true;
+    du.du_tail <- [];
+    Snapshot.save du.du_snap (serialize_mirror t du) (fun () ->
+        Wal.rewrite du.du_wal (List.rev du.du_tail) (fun () -> du.du_compacting <- false))
+  end
+
+let persist_line t du line =
+  Wal.append du.du_wal line;
+  du.du_tail <- line :: du.du_tail;
+  du.du_appends <- du.du_appends + 1;
+  maybe_snapshot t du
+
+let persist_fire t key =
+  match t.sv_durable with Some du -> persist_line t du (rec_fire key) | None -> ()
+
+let persist_hire t key =
+  match t.sv_durable with Some du -> persist_line t du (rec_hire key) | None -> ()
+
+(* Only records backing issued certificates are logged: an invalidation of
+   anything else either cascades from a logged fact at recovery or is
+   reconstructed conservatively (dangling -> False). *)
+let persist_invalidate t cref =
+  match t.sv_durable with
+  | None -> ()
+  | Some du -> (
+      let key = Credrec.marshal_ref cref in
+      match Hashtbl.find_opt du.du_issued key with
+      | Some i when i.i_alive ->
+          i.i_alive <- false;
+          persist_line t du (rec_invalidate key)
+      | _ -> ())
+
 (* Root a revocation trace at an invalidation entry point: the cascade runs
    inside the span, so the record-change hooks, the buffered digest, the
    broker flush and the peers' applies all inherit its context and the span
@@ -132,7 +321,8 @@ let with_revocation_span t ~reason f =
     (fun () -> Trace.with_ctx tr (Some (Trace.ctx_of sp)) f)
 
 let invalidate_traced t ~reason cref =
-  with_revocation_span t ~reason (fun () -> Credrec.invalidate t.sv_table cref)
+  with_revocation_span t ~reason (fun () -> Credrec.invalidate t.sv_table cref);
+  persist_invalidate t cref
 
 let roll_secret t =
   Signing.Rolling.roll t.sv_secrets;
@@ -159,10 +349,15 @@ let assign_role_bits rolefile =
   if List.length all > 62 then Error "too many roles for the role bit-set (max 62)"
   else Ok (List.mapi (fun i r -> (r, i)) all)
 
+(* Forward reference: [recover] needs the whole credential pipeline
+   (external_record, reread, issue plumbing) defined below, but the restart
+   hook is registered at creation time. *)
+let recover_ref : (t -> unit) ref = ref (fun _ -> ())
+
 let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs = [])
     ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
     ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0)
-    ?(batch_notifications = true) ?(sig_cache_cap = 1024) () =
+    ?(batch_notifications = true) ?(sig_cache_cap = 1024) ?disk ?(snapshot_every = 128) () =
   match Parser.parse_result ?resolve_literal rolefile with
   | Error e -> Error e
   | Ok parsed -> (
@@ -184,6 +379,21 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
           | Error e -> Error e
           | Ok bits ->
               let prng = Prng.create (Int64.of_int (Hashtbl.hash sv_name + 7)) in
+              let durable =
+                Option.map
+                  (fun d ->
+                    {
+                      du_disk = d;
+                      du_wal = Wal.create d ~file:("svc." ^ sv_name ^ ".wal") ();
+                      du_snap = Snapshot.create d ~file:("svc." ^ sv_name ^ ".snap");
+                      du_snapshot_every = snapshot_every;
+                      du_issued = Hashtbl.create 64;
+                      du_appends = 0;
+                      du_tail = [];
+                      du_compacting = false;
+                    })
+                  disk
+              in
               let t =
                 {
                   sv_net = net;
@@ -204,7 +414,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   sv_funcs = funcs;
                   sv_broker =
                     Broker.create_server net host ~name:sv_name ~heartbeat
-                      ~coalesce:batch_notifications ();
+                      ~coalesce:batch_notifications ?disk ();
                   sv_peers = Hashtbl.create 8;
                   sv_notifying = Hashtbl.create 64;
                   sv_rbr = Hashtbl.create 16;
@@ -216,11 +426,53 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   sv_pending_mods = Hashtbl.create 64;
                   sv_pending_ctx = Hashtbl.create 64;
                   sv_residuals = Cache.create 4096;
+                  sv_durable = durable;
                   sv_crypto_checks = 0;
                   sv_cache_hits = 0;
                 }
               in
               Hashtbl.replace reg sv_name t;
+              (match durable with
+              | None -> ()
+              | Some du ->
+                  (* Crash: volatile state dies.  Every credential record
+                     backing an issued certificate, every §4.11 revoker arm
+                     and every external surrogate is forgotten from the
+                     in-memory table (their children now read a dangling —
+                     permanently False — reference: fail closed), sessions
+                     drop, caches clear.  The durable mirror on [disk]
+                     survives and is replayed by the restart hook. *)
+                  Net.on_crash net host (fun () ->
+                      Hashtbl.iter
+                        (fun _ pl ->
+                          Option.iter Broker.close pl.pl_session;
+                          Hashtbl.iter
+                            (fun _ surrogate -> Credrec.forget t.sv_table surrogate)
+                            pl.pl_externals)
+                        t.sv_peers;
+                      Hashtbl.iter
+                        (fun _ cell ->
+                          List.iter (fun (_, rbr) -> Credrec.forget t.sv_table rbr) !cell)
+                        t.sv_rbr;
+                      Hashtbl.iter
+                        (fun key _ ->
+                          Hashtbl.remove t.sv_notifying key;
+                          match Credrec.unmarshal_ref key with
+                          | Some cref -> Credrec.forget t.sv_table cref
+                          | None -> ())
+                        du.du_issued;
+                      Hashtbl.reset t.sv_peers;
+                      Hashtbl.reset t.sv_rbr;
+                      Hashtbl.reset t.sv_blacklist;
+                      Hashtbl.reset du.du_issued;
+                      Hashtbl.reset t.sv_pending_mods;
+                      Hashtbl.reset t.sv_pending_ctx;
+                      Cache.clear t.sv_sig_cache;
+                      Cache.clear t.sv_residuals;
+                      du.du_appends <- 0;
+                      du.du_tail <- [];
+                      du.du_compacting <- false);
+                  Net.on_restart net host (fun () -> !recover_ref t));
               (* Batched notification: record changes accumulate in
                  [sv_pending_mods] and are flushed as ONE ModifiedBatch
                  digest at the top of each broker heartbeat tick, so the
@@ -661,6 +913,8 @@ type membership = {
   m_args : value list;
   m_crr : Credrec.cref;
   m_fresh : bool;  (* produced during this request (eligible for compounding) *)
+  m_deps : dep list;  (* durable dependencies feeding [m_crr] *)
+  m_rbrs : (string * string * string) list;  (* §4.11 revoker arms under [m_crr] *)
 }
 
 let match_args env ref_args actual =
@@ -767,11 +1021,21 @@ let complete_match t (entry : Ast.entry) dcerts (env, used) =
                 && Hashtbl.mem t.sv_blacklist (blacklist_key head_name args)
               then None (* negated Revoked(instance) fails (§3.3.2) *)
               else begin
-                (* Assemble membership-rule parents (fig 4.6). *)
+                (* Assemble membership-rule parents (fig 4.6).  Durable
+                   dependencies and revoker arms propagate from the starred
+                   credentials actually used, so an eventually-issued
+                   certificate's log record names every persisted fact its
+                   validity hangs on. *)
                 let parents = ref [] in
+                let deps = ref [] in
+                let rbrs = ref [] in
                 List.iter
                   (fun ((role_ref : Ast.role_ref), m) ->
-                    if role_ref.Ast.starred then parents := (m.m_crr, false) :: !parents)
+                    if role_ref.Ast.starred then begin
+                      parents := (m.m_crr, false) :: !parents;
+                      deps := m.m_deps @ !deps;
+                      rbrs := m.m_rbrs @ !rbrs
+                    end)
                   used;
                 List.iter
                   (fun d ->
@@ -808,7 +1072,8 @@ let complete_match t (entry : Ast.entry) dcerts (env, used) =
                           Hashtbl.replace t.sv_rbr key c;
                           c
                     in
-                    cell := (revoker, rbr) :: !cell);
+                    cell := (revoker, rbr) :: !cell;
+                    rbrs := (head_name, snd key, revoker.Ast.role) :: !rbrs);
                 let crr =
                   match !parents with
                   | [] -> Credrec.combine t.sv_table []
@@ -821,6 +1086,8 @@ let complete_match t (entry : Ast.entry) dcerts (env, used) =
                     m_args = args;
                     m_crr = crr;
                     m_fresh = true;
+                    m_deps = !deps;
+                    m_rbrs = !rbrs;
                   }
               end))
 
@@ -902,8 +1169,25 @@ let run_entry_engine t ~delegation ~deleg_required_ok ~initial =
 
 (* --- certificate issue --- *)
 
-let issue_cert t ~client ~roles ~args ~crr =
+(* Log the issue to stable storage: the record's identity plus what it
+   depends on, so recovery can re-materialise the backing subgraph.
+   Records already logged (re-validation of an outstanding certificate)
+   are not re-logged. *)
+let persist_issue t ~crr ~deps ~rbrs =
+  match t.sv_durable with
+  | None -> ()
+  | Some du ->
+      let key = Credrec.marshal_ref crr in
+      if not (Hashtbl.mem du.du_issued key) then begin
+        let deps = List.sort_uniq compare deps in
+        let rbrs = List.sort_uniq compare rbrs in
+        Hashtbl.replace du.du_issued key { i_alive = true; i_deps = deps; i_rbrs = rbrs };
+        persist_line t du (rec_issue key deps rbrs)
+      end
+
+let issue_cert t ?(deps = []) ?(rbrs = []) ~client ~roles ~args ~crr () =
   Credrec.set_direct_use t.sv_table crr true;
+  persist_issue t ~crr ~deps ~rbrs;
   let bits =
     List.fold_left
       (fun acc role ->
@@ -953,6 +1237,8 @@ let validate_credential t (cert : Cert.rmc) k =
                  m_args = cert.Cert.args;
                  m_crr = cert.Cert.crr;
                  m_fresh = false;
+                 m_deps = [ Dloc (Credrec.marshal_ref cert.Cert.crr) ];
+                 m_rbrs = [];
                }))
   else
     (* External certificate: RPC to the issuing service (§2.10), then mirror
@@ -989,6 +1275,8 @@ let validate_credential t (cert : Cert.rmc) k =
                        m_args = args;
                        m_crr = local;
                        m_fresh = false;
+                       m_deps = [ Dext (cert.Cert.service, Credrec.marshal_ref remote_ref) ];
+                       m_rbrs = [];
                      }))
 
 let delegation_required_ok t (d : Cert.delegation) memberships =
@@ -1080,7 +1368,12 @@ let request_entry t ~client_host ~client ~role ?args ?(creds = []) ?delegation k
                         Credrec.combine t.sv_table
                           (List.map (fun m -> (m.m_crr, false)) (chosen :: companions))
                   in
-                  let cert = issue_cert t ~client ~roles ~args:chosen.m_args ~crr in
+                  let cert =
+                    issue_cert t
+                      ~deps:(List.concat_map (fun m -> m.m_deps) (chosen :: companions))
+                      ~rbrs:(List.concat_map (fun m -> m.m_rbrs) (chosen :: companions))
+                      ~client ~roles ~args:chosen.m_args ~crr ()
+                  in
                   audit t Entry
                     (Printf.sprintf "%s entered %s" (Principal.vci_to_string client)
                        (String.concat "+" roles));
@@ -1254,6 +1547,7 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
               in
               if allowed then begin
                 Hashtbl.replace t.sv_blacklist key ();
+                persist_fire t key;
                 audit t Revocation (Printf.sprintf "%s(%s) blacklisted" role "");
                 reply (Ok 0)
               end
@@ -1268,6 +1562,7 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
                     List.iter (fun (_, rbr) -> Credrec.invalidate t.sv_table rbr) eligible);
                 cell := rest;
                 Hashtbl.replace t.sv_blacklist key ();
+                persist_fire t key;
                 audit t Revocation
                   (Printf.sprintf "%d membership(s) of %s revoked by role" (List.length eligible)
                      role);
@@ -1293,6 +1588,7 @@ let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
           if not allowed then reply (Error "no revocation right for this role")
           else begin
             Hashtbl.remove t.sv_blacklist (blacklist_key role args);
+            persist_hire t (blacklist_key role args);
             reply (Ok ())
           end)
 
@@ -1300,9 +1596,9 @@ let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
 
 let issue_arbitrary t ~client ~roles ~args =
   let crr = Credrec.leaf t.sv_table () in
-  issue_cert t ~client ~roles ~args ~crr
+  issue_cert t ~client ~roles ~args ~crr ()
 
-let issue_with_record t ~client ~roles ~args ~crr = issue_cert t ~client ~roles ~args ~crr
+let issue_with_record t ~client ~roles ~args ~crr = issue_cert t ~client ~roles ~args ~crr ()
 
 let import_remote_record t ~peer ~remote =
   external_record t ~peer_name:peer ~remote_ref:remote ~initial:Credrec.True
@@ -1372,3 +1668,154 @@ let delegate_revocation t ~client_host ~rcert ~to_cert k =
         audit t Delegation ("revocation right re-delegated for role " ^ rcert.Cert.r_role);
         reply (Ok (Cert.sign_revocation t.sv_secrets ~length:t.sv_sig_length fresh))
       end)
+
+(* --- crash recovery (the restart hook registered in [create]) --- *)
+
+(* Replay snapshot + log suffix and re-materialise the credential-record
+   subgraph backing issued certificates:
+
+   1. Rebuild the durable mirror (blacklist + issued table) by applying
+      the snapshot's records, then the whole log — idempotent upserts, so
+      an un-truncated log over a snapshot is harmless.
+   2. Restore EVERY persisted record identity (alive and dead) before any
+      fresh allocation, so a fresh record can never mint an (index, magic)
+      pair colliding with a reference embedded in an outstanding
+      certificate.
+   3. Re-attach what each record's validity hangs on: local dependency
+      parents (dangling ones read permanently False — certificates whose
+      issue record was lost with the unsynced tail fail closed), external
+      surrogates re-mirrored at Unknown and healed by the §4.10 reread
+      machinery, and §4.11 revoker arms — re-armed, or invalidated
+      outright when the instance is blacklisted.
+
+   The whole pass is charged [Disk.scan_delay] for the durable bytes read
+   and traced as one [oasis.recover.e2e] span. *)
+let recover t =
+  match t.sv_durable with
+  | None -> ()
+  | Some du ->
+      let disk = du.du_disk in
+      let bytes =
+        Disk.durable_size disk ~file:(Wal.file du.du_wal)
+        + Disk.durable_size disk ~file:(Snapshot.file du.du_snap)
+      in
+      let tr = tracer t in
+      let sp = Trace.start tr "oasis.recover.e2e" in
+      Trace.add_attr sp "bytes" (string_of_int bytes);
+      let t0 = Engine.now (Net.engine t.sv_net) in
+      Engine.schedule (Net.engine t.sv_net) ~delay:(Disk.scan_delay disk ~bytes) (fun () ->
+          (if Net.host_up t.sv_net t.sv_host then
+             Trace.with_ctx tr
+               (Some (Trace.ctx_of sp))
+               (fun () ->
+                 let snap_records =
+                   match Snapshot.load du.du_snap with
+                   | None | Some "" -> []
+                   | Some payload -> String.split_on_char '\x1c' payload
+                 in
+                 let log_records = Wal.recover du.du_wal in
+                 List.iter (apply_record t du) (snap_records @ log_records);
+                 let keys =
+                   Hashtbl.fold (fun k _ acc -> k :: acc) du.du_issued []
+                   |> List.sort String.compare
+                 in
+                 let restored =
+                   List.filter_map
+                     (fun key ->
+                       match Credrec.unmarshal_ref key with
+                       | None -> None
+                       | Some cref ->
+                           if Credrec.restore t.sv_table cref then begin
+                             Credrec.set_direct_use t.sv_table cref true;
+                             arm_notification t cref;
+                             Some (key, cref)
+                           end
+                           else None)
+                     keys
+                 in
+                 List.iter
+                   (fun (key, cref) ->
+                     let i = Hashtbl.find du.du_issued key in
+                     if not i.i_alive then Credrec.invalidate t.sv_table cref
+                     else begin
+                       List.iter
+                         (fun dep ->
+                           match dep with
+                           | Dloc dkey -> (
+                               match Credrec.unmarshal_ref dkey with
+                               | Some dref -> Credrec.add_parent t.sv_table ~child:cref dref
+                               | None -> ())
+                           | Dext (peer_name, rkey) -> (
+                               match Credrec.unmarshal_ref rkey with
+                               | None -> ()
+                               | Some remote_ref ->
+                                   let local =
+                                     external_record t ~peer_name ~remote_ref
+                                       ~initial:Credrec.Unknown
+                                   in
+                                   Credrec.add_parent t.sv_table ~child:cref local))
+                         i.i_deps;
+                       List.iter
+                         (fun (role, argskey, revoker_role) ->
+                           let rbr = Credrec.leaf t.sv_table ~state:Credrec.True () in
+                           Credrec.set_direct_use t.sv_table rbr true;
+                           Credrec.add_parent t.sv_table ~child:cref rbr;
+                           if Hashtbl.mem t.sv_blacklist (role, argskey) then
+                             Credrec.invalidate t.sv_table rbr
+                           else begin
+                             let cell =
+                               match Hashtbl.find_opt t.sv_rbr (role, argskey) with
+                               | Some c -> c
+                               | None ->
+                                   let c = ref [] in
+                                   Hashtbl.replace t.sv_rbr (role, argskey) c;
+                                   c
+                             in
+                             let revoker_ref =
+                               {
+                                 Ast.sref = Ast.local_service;
+                                 role = revoker_role;
+                                 ref_args = [];
+                                 starred = false;
+                               }
+                             in
+                             cell := (revoker_ref, rbr) :: !cell
+                           end)
+                         i.i_rbrs
+                     end)
+                   restored;
+                 (* Kick the reread machinery: every re-mirrored external is
+                    Unknown until its issuer answers (§4.10). *)
+                 Hashtbl.iter
+                   (fun peer_name pl ->
+                     Hashtbl.iter
+                       (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
+                       pl.pl_externals;
+                     match find_service t.sv_registry peer_name with
+                     | None -> ()
+                     | Some peer ->
+                         with_peer_session t pl (fun session ->
+                             if not pl.pl_rereading then reread_pending t pl peer session))
+                   t.sv_peers;
+                 Stats.incr (stats t) "oasis.recover";
+                 Stats.observe (stats t) "oasis.recover.records"
+                   (List.length snap_records + List.length log_records)));
+          Trace.finish tr sp;
+          Stats.observe_latency (stats t) "oasis.recover.e2e"
+            (Engine.now (Net.engine t.sv_net) -. t0))
+
+let () = recover_ref := recover
+
+(* --- durability introspection (tests and benches) --- *)
+
+let durable_enabled t = Option.is_some t.sv_durable
+
+let durable_issued t =
+  match t.sv_durable with
+  | None -> 0
+  | Some du -> Hashtbl.fold (fun _ i n -> if i.i_alive then n + 1 else n) du.du_issued 0
+
+let durable_flush t =
+  match t.sv_durable with None -> () | Some du -> Wal.flush du.du_wal
+
+let blacklisted t ~role ~args = Hashtbl.mem t.sv_blacklist (blacklist_key role args)

@@ -37,6 +37,8 @@ val create :
   ?heartbeat:float ->
   ?batch_notifications:bool ->
   ?sig_cache_cap:int ->
+  ?disk:Oasis_store.Disk.t ->
+  ?snapshot_every:int ->
   unit ->
   (t, string) result
 (** Parse + type-check the rolefile and install the service.
@@ -53,7 +55,17 @@ val create :
     the broker heartbeat tick (bounded by one heartbeat of extra latency);
     with [false], every record change is its own Modified event, as in the
     unbatched scheme benchmarked by e15.  [sig_cache_cap] (default 1024):
-    bound on the signature-verification cache (two-generation eviction). *)
+    bound on the signature-verification cache (two-generation eviction).
+
+    [disk] enables the durable-state plane: the §4.11 hire/fire databases
+    and issued certificates (with their dependency lists) are journalled
+    to a write-ahead log on the given stable-storage device, checkpointed
+    every [snapshot_every] (default 128) appends, and replayed after a
+    host crash+restart — restored certificates resolve again, externals
+    re-mirror at [Unknown] until the reread machinery heals them, and
+    fired instances stay fired.  The broker's retained event log rides
+    the same device.  Without [disk], a crash loses all service state
+    (the pre-durability behaviour). *)
 
 val name : t -> string
 val host : t -> Oasis_sim.Net.host
@@ -244,3 +256,22 @@ val residual_cache_size : t -> int
 
 val gc : t -> int
 (** Run a credential-record GC sweep; returns slots reclaimed. *)
+
+(** {1 Durability (tests and benches)} *)
+
+val durable_enabled : t -> bool
+
+val durable_issued : t -> int
+(** Issued records currently alive in the durable mirror (0 without
+    [disk]). *)
+
+val durable_flush : t -> unit
+(** Force the write-ahead log's group commit now. *)
+
+val blacklisted : t -> role:string -> args:value list -> bool
+(** Is the role instance currently fired (§4.11)? *)
+
+val recover : t -> unit
+(** The restart hook: replay snapshot + log and re-materialise issued
+    state.  Registered automatically on host restart when [disk] was
+    given; exposed for tests driving recovery directly. *)

@@ -128,39 +128,30 @@ let pp ppf t =
       Format.fprintf ppf "@.")
     (report t)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
 let to_json t =
-  let b = Buffer.create 1024 in
-  Buffer.add_string b "{";
-  List.iteri
-    (fun i r ->
-      if i > 0 then Buffer.add_char b ',';
-      Buffer.add_string b
-        (Printf.sprintf "\"%s\":{\"count\":%d,\"bytes\":%d,\"max\":%d" (json_escape r.r_cat)
-           r.r_count r.r_bytes r.r_max);
-      if r.r_samples > 0 then begin
+  let module J = Oasis_util.Json in
+  let row_json r =
+    let base = [ ("count", J.Int r.r_count); ("bytes", J.Int r.r_bytes); ("max", J.Int r.r_max) ] in
+    let latency =
+      if r.r_samples = 0 then []
+      else
         let mean =
           match lat_of t r.r_cat with
           | Some l when l.n > 0 -> l.sum /. float_of_int l.n
           | _ -> 0.0
         in
-        Buffer.add_string b
-          (Printf.sprintf
-             ",\"latency\":{\"samples\":%d,\"p50\":%.9f,\"p99\":%.9f,\"mean\":%.9f,\"max\":%.9f}"
-             r.r_samples r.r_p50 r.r_p99 mean r.r_lat_max)
-      end;
-      Buffer.add_char b '}')
-    (report t);
-  Buffer.add_string b "}";
-  Buffer.contents b
+        [
+          ( "latency",
+            J.Obj
+              [
+                ("samples", J.Int r.r_samples);
+                ("p50", J.Float r.r_p50);
+                ("p99", J.Float r.r_p99);
+                ("mean", J.Float mean);
+                ("max", J.Float r.r_lat_max);
+              ] );
+        ]
+    in
+    (r.r_cat, J.Obj (base @ latency))
+  in
+  J.to_string (J.Obj (List.map row_json (report t)))

@@ -170,48 +170,29 @@ let duration sp = sp.sp_end -. sp.sp_start
 let since_origin t ctx = t.clock () -. ctx.c_origin
 let origin ctx = ctx.c_origin
 
-(* --- JSON export (hand-rolled: no JSON dependency in the image) --- *)
+(* --- JSON export (via the shared Oasis_util.Json emitter) --- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let span_to_json b sp =
-  Buffer.add_string b
-    (Printf.sprintf "{\"trace\":%d,\"span\":%d,\"parent\":%s,\"name\":\"%s\"" sp.sp_trace sp.sp_id
-       (match sp.sp_parent with Some p -> string_of_int p | None -> "null")
-       (json_escape sp.sp_name));
-  Buffer.add_string b (Printf.sprintf ",\"start\":%.9f,\"end\":%.9f" sp.sp_start sp.sp_end);
-  (match span_attrs sp with
-  | [] -> ()
-  | attrs ->
-      Buffer.add_string b ",\"attrs\":{";
-      List.iteri
-        (fun i (k, v) ->
-          if i > 0 then Buffer.add_char b ',';
-          Buffer.add_string b (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
-        attrs;
-      Buffer.add_char b '}');
-  Buffer.add_char b '}'
+let span_to_json sp =
+  let module J = Oasis_util.Json in
+  let base =
+    [
+      ("trace", J.Int sp.sp_trace);
+      ("span", J.Int sp.sp_id);
+      ("parent", match sp.sp_parent with Some p -> J.Int p | None -> J.Null);
+      ("name", J.Str sp.sp_name);
+      ("start", J.Float sp.sp_start);
+      ("end", J.Float sp.sp_end);
+    ]
+  in
+  let attrs =
+    match span_attrs sp with
+    | [] -> []
+    | attrs -> [ ("attrs", J.Obj (List.map (fun (k, v) -> (k, J.Str v)) attrs)) ]
+  in
+  J.Obj (base @ attrs)
 
 let to_json t =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b (Printf.sprintf "{\"dropped\":%d,\"spans\":[" t.dropped);
-  List.iteri
-    (fun i sp ->
-      if i > 0 then Buffer.add_char b ',';
-      span_to_json b sp)
-    (spans t);
-  Buffer.add_string b "]}";
-  Buffer.contents b
+  let module J = Oasis_util.Json in
+  J.to_string
+    (J.Obj
+       [ ("dropped", J.Int t.dropped); ("spans", J.Arr (List.map span_to_json (spans t))) ])

@@ -1,0 +1,138 @@
+module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
+module Stats = Oasis_sim.Stats
+module Prng = Oasis_util.Prng
+
+(* One byte file: [data] is everything ever appended this incarnation,
+   [synced] the length of the durable prefix.  A crash truncates [data] to
+   [synced] plus a seeded-random surviving prefix of the unsynced tail, then
+   marks the survivor durable — the classic torn final write. *)
+type file = { mutable data : Buffer.t; mutable synced : int }
+
+type t = {
+  d_net : Net.t;
+  d_host : Net.host;
+  d_fsync_latency : float;
+  d_write_bw : float;
+  d_read_bw : float;
+  d_files : (string, file) Hashtbl.t;
+  mutable d_epoch : int;  (* bumped on crash: in-flight flushes die *)
+}
+
+let stats t = Net.stats t.d_net
+let host t = t.d_host
+let net t = t.d_net
+
+let file t name =
+  match Hashtbl.find_opt t.d_files name with
+  | Some f -> f
+  | None ->
+      let f = { data = Buffer.create 256; synced = 0 } in
+      Hashtbl.add t.d_files name f;
+      f
+
+let create net host ?(fsync_latency = 5e-4) ?(write_bandwidth = 1e8) ?(read_bandwidth = 2e8) ()
+    =
+  let t =
+    {
+      d_net = net;
+      d_host = host;
+      d_fsync_latency = fsync_latency;
+      d_write_bw = write_bandwidth;
+      d_read_bw = read_bandwidth;
+      d_files = Hashtbl.create 4;
+      d_epoch = 0;
+    }
+  in
+  Net.on_crash net host (fun () ->
+      t.d_epoch <- t.d_epoch + 1;
+      let prng = Net.prng net in
+      Hashtbl.iter
+        (fun _ f ->
+          let len = Buffer.length f.data in
+          let pending = len - f.synced in
+          if pending > 0 then begin
+            (* A random prefix of the unsynced tail reached the platter. *)
+            let keep = Prng.int prng (pending + 1) in
+            let survivor = Buffer.sub f.data 0 (f.synced + keep) in
+            let b = Buffer.create (String.length survivor + 256) in
+            Buffer.add_string b survivor;
+            f.data <- b;
+            f.synced <- f.synced + keep;
+            Stats.add_bytes (stats t) "store.crash.lost" (pending - keep);
+            if keep > 0 && keep < pending then Stats.incr (stats t) "store.crash.torn"
+          end)
+        t.d_files);
+  t
+
+let append t ~file:name data =
+  if Net.host_up t.d_net t.d_host then begin
+    let f = file t name in
+    Buffer.add_string f.data data;
+    Stats.observe (stats t) "store.write" (String.length data)
+  end
+
+let flush_delay t pending = t.d_fsync_latency +. (float_of_int pending /. t.d_write_bw)
+
+let fsync t ~file:name k =
+  if Net.host_up t.d_net t.d_host then begin
+    let f = file t name in
+    let target = Buffer.length f.data in
+    let pending = target - f.synced in
+    let epoch = t.d_epoch in
+    let delay = flush_delay t pending in
+    Engine.schedule (Net.engine t.d_net) ~delay (fun () ->
+        if epoch = t.d_epoch && Net.host_up t.d_net t.d_host then begin
+          if target > f.synced then f.synced <- target;
+          Stats.incr (stats t) "store.fsync";
+          Stats.observe_latency (stats t) "store.fsync" delay;
+          k ()
+        end)
+  end
+
+let write_atomic t ~file:name data k =
+  if Net.host_up t.d_net t.d_host then begin
+    let f = file t name in
+    let epoch = t.d_epoch in
+    let baseline = Buffer.length f.data in
+    let delay = flush_delay t (String.length data) in
+    Stats.observe (stats t) "store.write" (String.length data);
+    Engine.schedule (Net.engine t.d_net) ~delay (fun () ->
+        if epoch = t.d_epoch && Net.host_up t.d_net t.d_host then begin
+          (* The rename lands: everything that existed at the call is
+             replaced in one step.  Bytes appended while the write was in
+             flight are preserved after the new contents (the compacting
+             caller wrote a temp file, renamed it, then re-appended the
+             journal tail) — without this, a log compaction racing live
+             appends would silently drop records. *)
+          let tail = Buffer.sub f.data baseline (Buffer.length f.data - baseline) in
+          let synced_tail = max 0 (f.synced - baseline) in
+          let b = Buffer.create (String.length data + String.length tail + 256) in
+          Buffer.add_string b data;
+          Buffer.add_string b tail;
+          f.data <- b;
+          f.synced <- String.length data + synced_tail;
+          Stats.incr (stats t) "store.fsync";
+          Stats.observe_latency (stats t) "store.fsync" delay;
+          k ()
+        end)
+  end
+
+let truncate t ~file:name =
+  let f = file t name in
+  f.data <- Buffer.create 256;
+  f.synced <- 0;
+  Stats.incr (stats t) "store.truncate"
+
+let read t ~file:name =
+  let f = file t name in
+  Buffer.sub f.data 0 f.synced
+
+let durable_size t ~file:name = (file t name).synced
+let unsynced t ~file:name =
+  let f = file t name in
+  Buffer.length f.data - f.synced
+
+let scan_delay t ~bytes = t.d_fsync_latency +. (float_of_int bytes /. t.d_read_bw)
+
+let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.d_files [] |> List.sort String.compare

@@ -1,0 +1,74 @@
+(** Simulated per-host stable-storage device.
+
+    The paper's services keep their §4.11 revocation databases and issued
+    memberships on stable storage; the reproduction substitutes a
+    deterministic simulated device attached to the discrete-event engine
+    (see DESIGN.md, Substitutions: real disks -> simulated device).
+
+    The model is a set of named append-only byte files per host:
+
+    - {!append} lands in a volatile write buffer instantly (page cache);
+    - {!fsync} makes the buffered prefix durable after a configurable
+      latency (a base seek/flush cost plus bytes/bandwidth);
+    - a host crash ({!Oasis_sim.Fault}) discards the unsynced buffer,
+      except that a seeded-random prefix of it may survive — so the final
+      record on disk can be {e torn}, exactly the failure a write-ahead
+      log's checksum framing must detect;
+    - an in-flight fsync or atomic write dies with the crash (epoch check),
+      so durability callbacks never fire for a dead incarnation.
+
+    All byte traffic is accounted in the network's {!Oasis_sim.Stats}
+    under [store.*] categories; fsyncs record a latency histogram. *)
+
+type t
+
+val create :
+  Oasis_sim.Net.t ->
+  Oasis_sim.Net.host ->
+  ?fsync_latency:float ->
+  ?write_bandwidth:float ->
+  ?read_bandwidth:float ->
+  unit ->
+  t
+(** [fsync_latency] is the base cost of a flush in seconds (default 5e-4);
+    [write_bandwidth] the sustained write throughput in bytes/second
+    (default 1e8); [read_bandwidth] the sequential recovery-scan
+    throughput (default 2e8). *)
+
+val host : t -> Oasis_sim.Net.host
+val net : t -> Oasis_sim.Net.t
+
+val append : t -> file:string -> string -> unit
+(** Buffer bytes at the end of [file].  Instant (page cache); not durable
+    until a subsequent {!fsync} completes.  Ignored while the host is
+    down. *)
+
+val fsync : t -> file:string -> (unit -> unit) -> unit
+(** Make everything appended so far durable.  The callback fires once the
+    flush completes, [fsync_latency + pending/write_bandwidth] seconds
+    later — unless the host crashes first, in which case it never fires
+    (and the pending bytes are subject to the crash semantics above). *)
+
+val write_atomic : t -> file:string -> string -> (unit -> unit) -> unit
+(** Replace everything [file] contained {e at the call} in one step (the
+    classic write-temp then rename).  Until the operation completes the
+    old contents remain; a crash before completion leaves the old
+    contents intact, never a mixture.  Bytes appended while the write is
+    in flight survive after the new contents, so compacting a live log
+    cannot drop racing appends.  Used for snapshots and log rewrites. *)
+
+val truncate : t -> file:string -> unit
+(** Discard [file]'s contents, durable and buffered.  Immediate; the
+    caller sequences it after the snapshot write it depends on. *)
+
+val read : t -> file:string -> string
+(** Current durable contents (after a crash this includes any torn tail
+    that survived). *)
+
+val durable_size : t -> file:string -> int
+val unsynced : t -> file:string -> int
+
+val scan_delay : t -> bytes:int -> float
+(** Time a recovery scan of [bytes] takes on this device. *)
+
+val files : t -> string list

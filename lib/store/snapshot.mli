@@ -1,0 +1,27 @@
+(** Checkpoints: atomic full-state images that bound log replay.
+
+    A snapshot is one checksum-framed payload written with
+    {!Disk.write_atomic}: a crash mid-save leaves the previous snapshot
+    intact, never a torn mixture.  The intended protocol is
+
+    + serialise the current state and {!save} it;
+    + when the save reports durable, {!Wal.truncate} the log.
+
+    Recovery then loads the snapshot (if any) and replays only the log
+    suffix written after it.  Because a crash can land between the two
+    steps, replaying the {e full} log over a snapshot must be idempotent —
+    the service's record types are upserts, so it is. *)
+
+type t
+
+val create : Disk.t -> file:string -> t
+val file : t -> string
+val disk : t -> Disk.t
+
+val save : t -> string -> (unit -> unit) -> unit
+(** Write the payload as the new snapshot; the callback fires when it is
+    durable (never, if the host crashes first). *)
+
+val load : t -> string option
+(** The durable snapshot payload, or [None] when absent or (impossible
+    under the atomic-write model, but checked anyway) corrupt. *)

@@ -1,0 +1,154 @@
+module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
+module Stats = Oasis_sim.Stats
+module Siphash = Oasis_util.Siphash
+
+type t = {
+  w_disk : Disk.t;
+  w_file : string;
+  w_key : Siphash.key;
+  w_interval : float;
+  w_flush_bytes : int;
+  w_fsync_each : bool;
+  mutable w_pending_bytes : int;
+  mutable w_pending_records : int;
+  mutable w_armed : bool;  (* a timer-tick flush is scheduled *)
+  mutable w_on_durable : (unit -> unit) list;  (* reverse order *)
+  mutable w_appended : int;
+}
+
+let key_for file = Siphash.key_of_string ("oasis.wal:" ^ file)
+
+let frame key payload =
+  Printf.sprintf "%08x%s%s" (String.length payload) (Siphash.hash_hex key payload) payload
+
+let frame_with ~key payload = frame (key_for key) payload
+
+let hex_val = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | _ -> -1
+
+(* Strict 8-hex length field; [-1] on any non-hex character (a torn or
+   corrupted header must stop the scan, not parse as garbage). *)
+let parse_len s off =
+  let rec go i acc =
+    if i = 8 then acc
+    else
+      let v = hex_val s.[off + i] in
+      if v < 0 then -1 else go (i + 1) ((acc * 16) + v)
+  in
+  go 0 0
+
+let decode_key key bytes =
+  let total = String.length bytes in
+  let rec go off acc =
+    if off + 24 > total then List.rev acc
+    else
+      let len = parse_len bytes off in
+      if len < 0 || off + 24 + len > total then List.rev acc
+      else
+        let sum = String.sub bytes (off + 8) 16 in
+        let payload = String.sub bytes (off + 24) len in
+        if String.equal (Siphash.hash_hex key payload) sum then
+          go (off + 24 + len) (payload :: acc)
+        else List.rev acc
+  in
+  go 0 []
+
+let decode_with ~key bytes = decode_key (key_for key) bytes
+let decode bytes = decode_with ~key:"" bytes
+
+let stats t = Net.stats (Disk.net t.w_disk)
+
+let create disk ~file ?(flush_interval = 0.05) ?(flush_bytes = 16384) ?(fsync_each = false) ()
+    =
+  let t =
+    {
+      w_disk = disk;
+      w_file = file;
+      w_key = key_for file;
+      w_interval = flush_interval;
+      w_flush_bytes = flush_bytes;
+      w_fsync_each = fsync_each;
+      w_pending_bytes = 0;
+      w_pending_records = 0;
+      w_armed = false;
+      w_on_durable = [];
+      w_appended = 0;
+    }
+  in
+  (* The device already tears/loses the buffered bytes on crash; the log's
+     own job is to forget the commit bookkeeping for them. *)
+  Net.on_crash (Disk.net disk) (Disk.host disk) (fun () ->
+      t.w_pending_bytes <- 0;
+      t.w_pending_records <- 0;
+      t.w_on_durable <- []);
+  t
+
+let file t = t.w_file
+let disk t = t.w_disk
+let appended t = t.w_appended
+
+let flush t =
+  if t.w_pending_records > 0 then begin
+    let records = t.w_pending_records in
+    let callbacks = List.rev t.w_on_durable in
+    t.w_pending_bytes <- 0;
+    t.w_pending_records <- 0;
+    t.w_on_durable <- [];
+    Stats.observe (stats t) "store.fsync.batch" records;
+    Disk.fsync t.w_disk ~file:t.w_file (fun () -> List.iter (fun k -> k ()) callbacks)
+  end
+
+let append t ?on_durable payload =
+  let framed = frame t.w_key payload in
+  Disk.append t.w_disk ~file:t.w_file framed;
+  t.w_appended <- t.w_appended + 1;
+  t.w_pending_bytes <- t.w_pending_bytes + String.length framed;
+  t.w_pending_records <- t.w_pending_records + 1;
+  (match on_durable with Some k -> t.w_on_durable <- k :: t.w_on_durable | None -> ());
+  Stats.observe (stats t) "store.wal.append" (String.length framed);
+  if t.w_fsync_each || t.w_pending_bytes >= t.w_flush_bytes then flush t
+  else if not t.w_armed then begin
+    (* One-shot arming: the first uncommitted append starts the clock; the
+       tick commits everything that accumulated behind it. *)
+    t.w_armed <- true;
+    Engine.schedule
+      (Net.engine (Disk.net t.w_disk))
+      ~delay:t.w_interval
+      (fun () ->
+        t.w_armed <- false;
+        flush t)
+  end
+
+let sync t k =
+  if t.w_pending_records = 0 then k ()
+  else begin
+    t.w_on_durable <- k :: t.w_on_durable;
+    flush t
+  end
+
+let truncate t =
+  t.w_pending_bytes <- 0;
+  t.w_pending_records <- 0;
+  t.w_on_durable <- [];
+  Disk.truncate t.w_disk ~file:t.w_file
+
+let rewrite t records k =
+  let b = Buffer.create 1024 in
+  List.iter (fun r -> Buffer.add_string b (frame t.w_key r)) records;
+  t.w_pending_bytes <- 0;
+  t.w_pending_records <- 0;
+  t.w_on_durable <- [];
+  Disk.write_atomic t.w_disk ~file:t.w_file (Buffer.contents b) k
+
+let recover t =
+  let bytes = Disk.read t.w_disk ~file:t.w_file in
+  let records = decode_key t.w_key bytes in
+  let st = stats t in
+  Stats.incr st "store.recover";
+  Stats.add_bytes st "store.recover" (String.length bytes);
+  Stats.observe (st : Stats.t) "store.recover.records" (List.length records);
+  Stats.observe_latency st "store.recover" (Disk.scan_delay t.w_disk ~bytes:(String.length bytes));
+  records

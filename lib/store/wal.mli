@@ -1,0 +1,77 @@
+(** Write-ahead log with checksum framing and group commit.
+
+    Records are opaque strings framed as
+
+    {v [length: 8 hex chars][SipHash-2-4 of payload: 16 hex chars][payload] v}
+
+    and appended to one {!Disk} file.  The checksum key is derived from the
+    file name — it provides {e integrity} against torn/corrupt tails, not
+    secrecy.
+
+    {b Group commit}: appends land in the device's write buffer immediately,
+    but the fsync making them durable is coalesced — it fires when the
+    pending bytes cross [flush_bytes], or on a timer [flush_interval] after
+    the first uncommitted append, whichever comes first (mirroring the
+    broker's heartbeat batching: many logical writes, one physical flush).
+    [fsync_each:true] degrades to one fsync per append, the baseline the
+    e17 experiment compares against.
+
+    {b Recovery} scans the durable bytes and stops cleanly at the first
+    record that is incomplete (torn) or fails its checksum, yielding a
+    prefix of the appended records; it never raises on corrupt input. *)
+
+type t
+
+val create :
+  Disk.t ->
+  file:string ->
+  ?flush_interval:float ->
+  ?flush_bytes:int ->
+  ?fsync_each:bool ->
+  unit ->
+  t
+(** Defaults: [flush_interval] 0.05 s, [flush_bytes] 16384, [fsync_each]
+    false. *)
+
+val file : t -> string
+val disk : t -> Disk.t
+
+val append : t -> ?on_durable:(unit -> unit) -> string -> unit
+(** Append one record.  [on_durable] fires when the record's group commit
+    completes; after a crash, callbacks for unflushed records never fire. *)
+
+val flush : t -> unit
+(** Force the group commit now (no-op when nothing is pending). *)
+
+val sync : t -> (unit -> unit) -> unit
+(** Run the callback once everything appended so far is durable (flushes
+    if needed; fires immediately when nothing is pending). *)
+
+val truncate : t -> unit
+(** Drop the log's contents (after a snapshot made them redundant). *)
+
+val rewrite : t -> string list -> (unit -> unit) -> unit
+(** Atomically replace the log's contents with exactly [records]
+    (compaction).  Crash-safe: until the atomic write completes the old log
+    remains. *)
+
+val appended : t -> int
+(** Records appended over this log's lifetime (not reset by truncation). *)
+
+val recover : t -> string list
+(** Decode the durable contents; records the scan in [store.recover]
+    stats.  Use {!Disk.scan_delay} to charge the recovery time. *)
+
+val decode : string -> string list
+(** Pure decoding of a framed byte string (the recovery scan): the longest
+    valid prefix of records.  Total on arbitrary input.  Checksums are
+    validated against the key for file name [""] only when decoded via
+    {!decode_with}; this variant is keyed by [key_for ""]. *)
+
+val decode_with : key:string -> string -> string list
+(** [decode_with ~key:file bytes] decodes with the checksum key of [file];
+    {!recover} is [decode_with ~key:(file t) (Disk.read ...)]. *)
+
+val frame_with : key:string -> string -> string
+(** Frame one record under the checksum key of the named file; exposed for
+    the corruption property tests. *)

@@ -1,0 +1,28 @@
+let encode s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let nibble = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else begin
+    let b = Buffer.create (n / 2) in
+    let rec go i =
+      if i >= n then Some (Buffer.contents b)
+      else
+        let hi = nibble s.[i] and lo = nibble s.[i + 1] in
+        if hi < 0 || lo < 0 then None
+        else begin
+          Buffer.add_char b (Char.chr ((hi * 16) + lo));
+          go (i + 2)
+        end
+    in
+    go 0
+  end

@@ -1,0 +1,11 @@
+(** Lowercase hexadecimal byte-string codec.
+
+    Used by the durable-state plane to make arbitrary bytes (marshalled
+    values, role arguments) safe to embed between the control-character
+    field separators of write-ahead-log records. *)
+
+val encode : string -> string
+(** Two lowercase hex digits per input byte. *)
+
+val decode : string -> string option
+(** Inverse of {!encode}; [None] on odd length or non-hex characters. *)

@@ -1,0 +1,33 @@
+(** Minimal JSON emission (no external dependency in the image).
+
+    The simulator exports metrics ({!Oasis_sim.Stats}), traces
+    ({!Oasis_sim.Trace}) and bench snapshots as JSON.  Each of those used to
+    carry its own hand-rolled escaper; this module is the single shared
+    emitter, so string escaping has exactly one implementation.
+
+    Emission only — the repository never parses JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+      (** Rendered with enough digits to round-trip; non-finite values
+          (nan/inf) are emitted as [null], since JSON has no spelling for
+          them. *)
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** Escape a string for inclusion between double quotes: the quote and
+    backslash characters and control characters (with the common short
+    forms for newline, carriage return and tab, [\u00XX] otherwise).
+    Does not add the surrounding quotes. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val raw_to_buffer : Buffer.t -> string -> unit
+(** Append a pre-rendered JSON fragment verbatim.  For emitters that build
+    large documents incrementally around already-serialised parts. *)

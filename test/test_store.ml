@@ -1,0 +1,424 @@
+(* The durable-state plane: simulated stable storage, the write-ahead log
+   with group commit and checksum framing, snapshots, and crash recovery of
+   services (§4.11 databases + issued memberships).
+
+   Everything runs on the deterministic simulator: crashes tear the log at
+   seeded points, so a failing case replays exactly. *)
+
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Stats = Oasis_sim.Stats
+module Prng = Oasis_util.Prng
+module Disk = Oasis_store.Disk
+module Wal = Oasis_store.Wal
+module Snapshot = Oasis_store.Snapshot
+module Service = Oasis_core.Service
+module Group = Oasis_core.Group
+module Principal = Oasis_core.Principal
+module V = Oasis_rdl.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+type dworld = { engine : Engine.t; net : Net.t; host : Net.host; disk : Disk.t }
+
+let make_dworld ?seed () =
+  let engine = Engine.create () in
+  let net = Net.create ?seed ~latency:(Net.Fixed 0.005) engine in
+  let host = Net.add_host net "store" in
+  let disk = Disk.create net host () in
+  { engine; net; host; disk }
+
+let drun w dt = Engine.run ~until:(Engine.now w.engine +. dt) w.engine
+
+(* --- write-ahead log --- *)
+
+let test_wal_roundtrip () =
+  let w = make_dworld () in
+  let wal = Wal.create w.disk ~file:"log" () in
+  let records = List.init 50 (fun i -> Printf.sprintf "record-%d-%s" i (String.make (i mod 7) 'x')) in
+  List.iter (fun r -> Wal.append wal r) records;
+  let synced = ref false in
+  Wal.sync wal (fun () -> synced := true);
+  drun w 1.0;
+  checkb "sync completed" true !synced;
+  checkb "recover returns every record in order" true (Wal.recover wal = records);
+  checki "lifetime append counter" 50 (Wal.appended wal)
+
+let test_wal_group_commit_coalesces_fsyncs () =
+  let appends = 1000 in
+  let fsyncs_with each =
+    let w = make_dworld () in
+    let wal = Wal.create w.disk ~file:"log" ~flush_interval:0.01 ~fsync_each:each () in
+    for i = 0 to appends - 1 do
+      Engine.schedule_at w.engine ~at:(0.001 *. float_of_int i) (fun () ->
+          Wal.append wal (Printf.sprintf "r%d" i))
+    done;
+    Engine.run ~until:5.0 w.engine;
+    checkb "no record lost" true (List.length (Wal.recover wal) = appends);
+    Stats.count (Net.stats w.net) "store.fsync"
+  in
+  let baseline = fsyncs_with true in
+  let grouped = fsyncs_with false in
+  checki "fsync-per-append baseline" appends baseline;
+  checkb
+    (Printf.sprintf "group commit reduces fsyncs >= 5x (%d -> %d)" baseline grouped)
+    true
+    (grouped * 5 <= baseline)
+
+let test_wal_durability_callback_after_crash () =
+  let w = make_dworld ~seed:5L () in
+  let wal = Wal.create w.disk ~file:"log" () in
+  let durable = ref [] in
+  Wal.append wal ~on_durable:(fun () -> durable := "a" :: !durable) "a";
+  Wal.sync wal (fun () -> ());
+  drun w 1.0;
+  (* The second record's group commit dies with the host: its callback must
+     never fire, even after restart. *)
+  Wal.append wal ~on_durable:(fun () -> durable := "b" :: !durable) "b";
+  Net.crash_host w.net w.host;
+  drun w 1.0;
+  Net.restart_host w.net w.host;
+  drun w 2.0;
+  checkb "only the synced record's callback fired" true (!durable = [ "a" ])
+
+(* A crash with unsynced appends leaves a (possibly torn) tail; recovery
+   must yield a checksum-valid prefix, never raise, and keep everything
+   that was fsynced. *)
+let test_wal_crash_recovers_synced_prefix () =
+  let torn = ref 0 in
+  List.iter
+    (fun seed ->
+      let w = make_dworld ~seed () in
+      let wal = Wal.create w.disk ~file:"log" () in
+      let records = List.init 20 (fun i -> Printf.sprintf "record-%d" i) in
+      let synced_part, unsynced_part =
+        (List.filteri (fun i _ -> i < 10) records, List.filteri (fun i _ -> i >= 10) records)
+      in
+      List.iter (fun r -> Wal.append wal r) synced_part;
+      Wal.sync wal (fun () -> ());
+      drun w 1.0;
+      List.iter (fun r -> Wal.append wal r) unsynced_part;
+      Net.crash_host w.net w.host;
+      drun w 0.5;
+      Net.restart_host w.net w.host;
+      let recovered = Wal.recover wal in
+      let n = List.length recovered in
+      checkb "at least the synced prefix" true (n >= 10);
+      checkb "no record invented" true (n <= 20);
+      checkb "exactly a prefix of what was appended" true
+        (recovered = List.filteri (fun i _ -> i < n) records);
+      if Stats.count (Net.stats w.net) "store.crash.torn" > 0 then incr torn)
+    [ 1L; 2L; 3L; 4L; 5L; 6L; 7L; 8L ];
+  (* The seeds must actually exercise the torn-write path, not only clean
+     losses, or the checksum scan is untested. *)
+  checkb "some seed tore the final record" true (!torn >= 1)
+
+(* Property: the recovery scan is total and prefix-stable under arbitrary
+   single-byte corruption and truncation of the framed bytes. *)
+let test_wal_decoder_fuzz () =
+  let records = List.init 12 (fun i -> Printf.sprintf "payload-%d-%s" i (String.make i 'y')) in
+  let framed = String.concat "" (List.map (Wal.frame_with ~key:"log") records) in
+  let is_prefix l = records = l @ List.filteri (fun i _ -> i >= List.length l) records in
+  for seed = 1 to 50 do
+    let prng = Prng.create (Int64.of_int seed) in
+    let mutated =
+      if Prng.bool prng then begin
+        (* Flip one random byte. *)
+        let b = Bytes.of_string framed in
+        let i = Prng.int prng (Bytes.length b) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Prng.int prng 255)));
+        Bytes.to_string b
+      end
+      else String.sub framed 0 (Prng.int prng (String.length framed + 1))
+    in
+    let decoded =
+      try Wal.decode_with ~key:"log" mutated
+      with e -> Alcotest.failf "decoder raised on seed %d: %s" seed (Printexc.to_string e)
+    in
+    checkb
+      (Printf.sprintf "seed %d decodes to a prefix" seed)
+      true (is_prefix decoded);
+    (* Wrong key: nothing validates. *)
+    checkb "other file's key rejects all" true (Wal.decode_with ~key:"other" mutated = [])
+  done
+
+(* --- snapshots --- *)
+
+let test_snapshot_atomic_across_crash () =
+  let w = make_dworld ~seed:9L () in
+  let snap = Snapshot.create w.disk ~file:"snap" in
+  checkb "empty before first save" true (Snapshot.load snap = None);
+  Snapshot.save snap "state-v1" (fun () -> ());
+  drun w 1.0;
+  checkb "v1 loads" true (Snapshot.load snap = Some "state-v1");
+  (* Crash while the second save is in flight: the old image survives
+     whole — never a torn mixture. *)
+  Snapshot.save snap "state-v2-much-longer-payload" (fun () -> ());
+  Net.crash_host w.net w.host;
+  drun w 1.0;
+  Net.restart_host w.net w.host;
+  checkb "old snapshot intact after crashed save" true (Snapshot.load snap = Some "state-v1");
+  Snapshot.save snap "state-v3" (fun () -> ());
+  drun w 1.0;
+  checkb "fresh save replaces it" true (Snapshot.load snap = Some "state-v3")
+
+let test_snapshot_bounds_replay () =
+  let w = make_dworld () in
+  let wal = Wal.create w.disk ~file:"log" () in
+  let snap = Snapshot.create w.disk ~file:"snap" in
+  List.iter (fun r -> Wal.append wal r) [ "a"; "b"; "c" ];
+  Wal.sync wal (fun () -> ());
+  drun w 1.0;
+  (* Checkpoint: image covers a,b,c; the log restarts empty. *)
+  let truncated = ref false in
+  Snapshot.save snap "a|b|c" (fun () ->
+      Wal.truncate wal;
+      truncated := true);
+  drun w 1.0;
+  checkb "log truncated after durable snapshot" true !truncated;
+  List.iter (fun r -> Wal.append wal r) [ "d"; "e" ];
+  Wal.sync wal (fun () -> ());
+  drun w 1.0;
+  checkb "snapshot + suffix" true
+    (Snapshot.load snap = Some "a|b|c" && Wal.recover wal = [ "d"; "e" ])
+
+(* --- service recovery (§4.11 persistence) --- *)
+
+let meet_rolefile =
+  {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair : u in staff
+|}
+
+let login_rolefile = {|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|}
+
+type sworld = {
+  s_engine : Engine.t;
+  s_net : Net.t;
+  s_client_host : Net.host;
+  s_login : Service.t;
+  s_meet : Service.t;
+}
+
+let fresh_vci =
+  let host = Principal.Host.create "storeclienthost" in
+  let domain = Principal.Host.boot_domain host in
+  fun () -> Principal.Host.new_vci host domain
+
+let srun w dt = Engine.run ~until:(Engine.now w.s_engine +. dt) w.s_engine
+
+let durable_world ?(seed = 42L) () =
+  let engine = Engine.create () in
+  let net = Net.create ~seed ~latency:(Net.Fixed 0.005) engine in
+  let reg = Service.create_registry () in
+  let client_host = Net.add_host net "client" in
+  let login_host = Net.add_host net "h.login" in
+  let meet_host = Net.add_host net "h.meet" in
+  let disk = Disk.create net meet_host () in
+  let mk name host rolefile extra =
+    match extra (Service.create net host reg ~name ~rolefile) with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "service %s: %s" name e
+  in
+  let login = mk "Login" login_host login_rolefile (fun f -> f ()) in
+  let meet = mk "Meet" meet_host meet_rolefile (fun f -> f ~disk ()) in
+  { s_engine = engine; s_net = net; s_client_host = client_host; s_login = login; s_meet = meet }
+
+let entry w svc ~client ~role ?creds () =
+  let result = ref None in
+  Service.request_entry svc ~client_host:w.s_client_host ~client ~role ?creds (fun r ->
+      result := Some r);
+  srun w 2.0;
+  match !result with Some r -> r | None -> Alcotest.fail "entry did not complete"
+
+let entry_ok w svc ~client ~role ?creds () =
+  match entry w svc ~client ~role ?creds () with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "entry to %s failed: %s" role e
+
+let logged_on w user =
+  let vci = fresh_vci () in
+  ( vci,
+    Service.issue_arbitrary w.s_login ~client:vci ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str user; V.Str "ely" ] )
+
+let fire w ~chair ~user =
+  let result = ref None in
+  Service.revoke_role_instance w.s_meet ~client_host:w.s_client_host ~revoker:chair
+    ~role:"Member" ~args:[ V.Str user ] (fun r -> result := Some r);
+  srun w 2.0;
+  match !result with
+  | Some (Ok n) -> n
+  | Some (Error e) -> Alcotest.failf "fire %s: %s" user e
+  | None -> Alcotest.fail "fire did not complete"
+
+let crash_restart_meet w =
+  (* Past the group-commit window, so acknowledged operations are on the
+     platter; then a full crash/restart cycle plus recovery and reread. *)
+  srun w 0.2;
+  Net.crash_host w.s_net (Service.host w.s_meet);
+  srun w 1.0;
+  Net.restart_host w.s_net (Service.host w.s_meet);
+  srun w 3.0
+
+(* §4.11 regression: "fired is forever" must survive a crash of the
+   service host.  The fired principal stays locked out after recovery; the
+   control principal's certificate comes back to life. *)
+let test_fired_stays_fired_across_crash () =
+  let w = durable_world () in
+  Group.add (Service.group w.s_meet "staff") (V.Str "fred");
+  Group.add (Service.group w.s_meet "staff") (V.Str "mary");
+  let jmb, jmb_cert = logged_on w "jmb" in
+  let chair = entry_ok w w.s_meet ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let fred, fred_cert = logged_on w "fred" in
+  let mary, mary_cert = logged_on w "mary" in
+  let fred_member = entry_ok w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] () in
+  let mary_member = entry_ok w w.s_meet ~client:mary ~role:"Member" ~creds:[ mary_cert ] () in
+  checki "fred revoked by role" 1 (fire w ~chair ~user:"fred");
+  checkb "fred out before the crash" true
+    (Service.validate w.s_meet ~client:fred fred_member = Error Service.Revoked);
+  crash_restart_meet w;
+  checkb "blacklist recovered" true
+    (Service.blacklisted w.s_meet ~role:"Member" ~args:[ V.Str "fred" ]);
+  checkb "fred still revoked after recovery" true
+    (Service.validate w.s_meet ~client:fred fred_member = Error Service.Revoked);
+  checkb "fred cannot re-enter after recovery" true
+    (Result.is_error (entry w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] ()));
+  (* Control: an unfired membership must recover to valid... *)
+  checkb "mary's certificate survives the crash" true
+    (Service.validate w.s_meet ~client:mary mary_member = Ok ());
+  (* ...and the recovered revoker arm still works: firing mary AFTER
+     recovery revokes the restored record. *)
+  checki "mary fired after recovery" 1 (fire w ~chair ~user:"mary");
+  checkb "mary revoked via recovered arm" true
+    (Service.validate w.s_meet ~client:mary mary_member = Error Service.Revoked)
+
+let test_rehire_survives_crash () =
+  let w = durable_world ~seed:43L () in
+  Group.add (Service.group w.s_meet "staff") (V.Str "fred");
+  let jmb, jmb_cert = logged_on w "jmb" in
+  let chair = entry_ok w w.s_meet ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let fred, fred_cert = logged_on w "fred" in
+  let _ = entry_ok w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] () in
+  checki "fired" 1 (fire w ~chair ~user:"fred");
+  let rehired = ref None in
+  Service.reinstate_role_instance w.s_meet ~client_host:w.s_client_host ~revoker:chair
+    ~role:"Member" ~args:[ V.Str "fred" ] (fun r -> rehired := Some r);
+  srun w 2.0;
+  checkb "re-hired" true (!rehired = Some (Ok ()));
+  crash_restart_meet w;
+  checkb "re-hire survived the crash" true
+    (not (Service.blacklisted w.s_meet ~role:"Member" ~args:[ V.Str "fred" ]));
+  checkb "fred can re-enter after recovery" true
+    (Result.is_ok (entry w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] ()))
+
+(* An unsynced issue lost with the crash must fail CLOSED: the certificate
+   is unknown to the recovered service and validates as revoked, never as
+   valid. *)
+let test_lost_tail_fails_closed () =
+  let w = durable_world ~seed:44L () in
+  Group.add (Service.group w.s_meet "staff") (V.Str "fred");
+  let fred, fred_cert = logged_on w "fred" in
+  let member = entry_ok w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] () in
+  (* Crash IMMEDIATELY: the issue record is (with these seeds) still in the
+     group-commit window.  Whatever survives, validation must never say
+     Ok while the backing record was not recovered. *)
+  Net.crash_host w.s_net (Service.host w.s_meet);
+  srun w 1.0;
+  Net.restart_host w.s_net (Service.host w.s_meet);
+  srun w 4.0;
+  (match Service.validate w.s_meet ~client:fred member with
+  | Ok () ->
+      (* Legal only if the record made it to the platter and was restored. *)
+      checkb "validated Ok implies the issue was recovered" true
+        (Service.durable_issued w.s_meet >= 1)
+  | Error _ -> ());
+  (* And re-entry still works: recovery leaves a functioning service. *)
+  checkb "service still issues after recovery" true
+    (Result.is_ok (entry w w.s_meet ~client:fred ~role:"Member" ~creds:[ fred_cert ] ()))
+
+let test_snapshot_checkpoint_in_service () =
+  (* snapshot_every=8 forces several checkpoint cycles; recovery must load
+     snapshot + suffix and still refuse the fired principal. *)
+  let engine = Engine.create () in
+  let net = Net.create ~seed:45L ~latency:(Net.Fixed 0.005) engine in
+  let reg = Service.create_registry () in
+  let client_host = Net.add_host net "client" in
+  let login_host = Net.add_host net "h.login" in
+  let meet_host = Net.add_host net "h.meet" in
+  let disk = Disk.create net meet_host () in
+  let login =
+    match Service.create net login_host reg ~name:"Login" ~rolefile:login_rolefile () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "login: %s" e
+  in
+  let meet =
+    match
+      Service.create net meet_host reg ~name:"Meet" ~rolefile:meet_rolefile ~disk
+        ~snapshot_every:8 ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "meet: %s" e
+  in
+  let w =
+    { s_engine = engine; s_net = net; s_client_host = client_host; s_login = login; s_meet = meet }
+  in
+  let users = List.init 12 (fun i -> Printf.sprintf "u%d" i) in
+  List.iter (fun u -> Group.add (Service.group meet "staff") (V.Str u)) users;
+  let jmb, jmb_cert = logged_on w "jmb" in
+  let chair = entry_ok w meet ~client:jmb ~role:"Chair" ~creds:[ jmb_cert ] () in
+  let members =
+    List.map
+      (fun u ->
+        let vci, cert = logged_on w u in
+        (u, vci, entry_ok w meet ~client:vci ~role:"Member" ~creds:[ cert ] ()))
+      users
+  in
+  checki "fired u3" 1 (fire w ~chair ~user:"u3");
+  checkb "snapshot actually written" true
+    (Stats.count (Net.stats net) "store.snapshot" >= 1);
+  crash_restart_meet w;
+  List.iter
+    (fun (u, vci, m) ->
+      if u = "u3" then
+        checkb "fired user stays revoked" true
+          (Service.validate meet ~client:vci m = Error Service.Revoked)
+      else
+        checkb (Printf.sprintf "%s survives via snapshot+log" u) true
+          (Service.validate meet ~client:vci m = Ok ()))
+    members;
+  checkb "recovery instrumented" true (Stats.count (Net.stats net) "oasis.recover" >= 1)
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "append/sync/recover roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "group commit coalesces fsyncs" `Quick
+            test_wal_group_commit_coalesces_fsyncs;
+          Alcotest.test_case "durability callbacks die with the host" `Quick
+            test_wal_durability_callback_after_crash;
+          Alcotest.test_case "crash recovers a checksummed prefix" `Quick
+            test_wal_crash_recovers_synced_prefix;
+          Alcotest.test_case "decoder total under corruption (fuzz)" `Quick test_wal_decoder_fuzz;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "atomic across crash" `Quick test_snapshot_atomic_across_crash;
+          Alcotest.test_case "bounds replay to the log suffix" `Quick test_snapshot_bounds_replay;
+        ] );
+      ( "service-recovery",
+        [
+          Alcotest.test_case "fired stays fired across crash (§4.11)" `Quick
+            test_fired_stays_fired_across_crash;
+          Alcotest.test_case "re-hire survives crash" `Quick test_rehire_survives_crash;
+          Alcotest.test_case "lost tail fails closed" `Quick test_lost_tail_fails_closed;
+          Alcotest.test_case "snapshot checkpointing in the service" `Quick
+            test_snapshot_checkpoint_in_service;
+        ] );
+    ]
