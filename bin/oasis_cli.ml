@@ -54,6 +54,138 @@ let rdl_cmd =
   let doc = "Parse (and optionally type-check) an RDL rolefile" in
   Cmd.v (Cmd.info "rdl" ~doc) Term.(const run $ path $ check)
 
+(* --- lint subcommand --- *)
+
+let lint_cmd =
+  let module Analyze = Oasis_rdl.Analyze in
+  let module FL = Oasis_core.Federation_lint in
+  let module Json = Oasis_util.Json in
+  let paths =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE"
+          ~doc:
+            "RDL rolefiles forming the federation.  Each file's service name \
+             is its basename without extension (Login.rdl issues Login.* roles).")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Fail on warnings as well as errors")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout") in
+  let reach =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reach" ] ~docv:"SVC.ROLE"
+          ~doc:
+            "Also print the privilege-escalation frontier: every federation role a \
+             holder of $(docv) can go on to acquire that is not derivable from the \
+             axioms alone.")
+  in
+  let service_name path = Filename.remove_extension (Filename.basename path) in
+  let run paths strict json reach =
+    let parsed, broken =
+      List.partition_map
+        (fun path ->
+          let name = service_name path in
+          match Oasis_rdl.Parser.parse_result (read_input path) with
+          | Ok rf -> Left { FL.fl_name = name; fl_file = path; fl_rolefile = rf }
+          | Error e ->
+              let line =
+                (* parse_result folds the line into the message; re-parse for it *)
+                match Oasis_rdl.Parser.parse (read_input path) with
+                | exception Oasis_rdl.Parser.Parse_error (_, l) -> l
+                | exception Oasis_rdl.Lexer.Lex_error (_, l) -> l
+                | _ -> 0
+              in
+              Right
+                {
+                  Analyze.code = "RDL000";
+                  severity = Analyze.Error;
+                  file = path;
+                  line;
+                  message = "parse error: " ^ e;
+                })
+        paths
+    in
+    let fed = FL.make parsed in
+    let diags = broken @ FL.check ~per_file:true fed in
+    let count sev = List.length (List.filter (fun d -> d.Analyze.severity = sev) diags) in
+    let errors = count Analyze.Error
+    and warnings = count Analyze.Warning
+    and infos = count Analyze.Info in
+    let failed = List.exists (Analyze.gates ~strict) diags in
+    let escal =
+      match reach with
+      | None -> None
+      | Some spec -> (
+          match String.index_opt spec '.' with
+          | None -> None
+          | Some i ->
+              let holder =
+                (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+              in
+              Some (holder, FL.escalation fed ~holder))
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              ([
+                 ("files", Json.Arr (List.map (fun p -> Json.Str p) paths));
+                 ("diagnostics", Json.Arr (List.map Analyze.diag_to_json diags));
+                 ( "summary",
+                   Json.Obj
+                     [
+                       ("errors", Json.Int errors);
+                       ("warnings", Json.Int warnings);
+                       ("infos", Json.Int infos);
+                       ("strict", Json.Bool strict);
+                       ("ok", Json.Bool (not failed));
+                     ] );
+               ]
+              @
+              match escal with
+              | None -> []
+              | Some (holder, nodes) ->
+                  [
+                    ( "escalation",
+                      Json.Obj
+                        [
+                          ("holder", Json.Str (FL.node_str holder));
+                          ("reaches", Json.Arr (List.map (fun n -> Json.Str (FL.node_str n)) nodes));
+                        ] );
+                  ])))
+    else begin
+      List.iter (fun d -> print_endline (Analyze.diag_to_string d)) diags;
+      (match escal with
+      | None -> ()
+      | Some (holder, nodes) ->
+          Printf.printf "escalation: a holder of %s can also reach: %s\n" (FL.node_str holder)
+            (match nodes with [] -> "(nothing)" | _ -> String.concat ", " (List.map FL.node_str nodes)));
+      Printf.printf "%d file(s): %d error(s), %d warning(s), %d info(s)%s\n" (List.length paths)
+        errors warnings infos
+        (if failed then " -- FAILED" else "")
+    end;
+    if failed then 1 else 0
+  in
+  let doc = "Statically analyze RDL rolefiles and their cross-service role graph" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the per-rolefile analyzer (unbound variables, duplicate entries, \
+         arity/type errors, unknown extension functions, unsatisfiable constraints, \
+         import hygiene: codes RDL001-RDL011) over every FILE, then federation-wide \
+         checks over all of them together (credential cycles with no bootstrap, \
+         unreachable roles, revocation gaps: codes OASIS001-OASIS005).";
+      `P
+        "Exit status is 1 when any error-severity diagnostic is reported (with \
+         $(b,--strict), warnings gate too), 0 otherwise.";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const run $ paths $ strict $ json $ reach)
+
 (* --- composite subcommand --- *)
 
 let composite_cmd =
@@ -191,4 +323,6 @@ Member(u) <- Login.LoggedOn(u, h)* : (u in staff)*
 let () =
   let doc = "OASIS: an open architecture for secure interworking services" in
   let info = Cmd.info "oasis_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ rdl_cmd; composite_cmd; acl_cmd; erdl_cmd; idl_cmd; demo_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ rdl_cmd; lint_cmd; composite_cmd; acl_cmd; erdl_cmd; idl_cmd; demo_cmd ]))

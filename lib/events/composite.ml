@@ -53,12 +53,15 @@ let eval_side ~now env side =
                   match (va, vb) with
                   | Value.Int x, Value.Int y ->
                       Some
+                        (* Total: [Eq]/[Ne] on the integer path answer by the
+                           same comparison, consistent with [Value.equal]. *)
                         (match op with
                         | Ast.Lt -> x < y
                         | Ast.Le -> x <= y
                         | Ast.Gt -> x > y
                         | Ast.Ge -> x >= y
-                        | Ast.Eq | Ast.Ne -> assert false)
+                        | Ast.Eq -> x = y
+                        | Ast.Ne -> x <> y)
                   | _ -> None)
             in
             match truth with Some true -> go env rest | Some false | None -> None)

@@ -88,9 +88,7 @@ let parse_ty st =
       Ty.Str
   | SET alphabet ->
       adv st;
-      (match Value.set_of_chars alphabet with
-      | Value.Set sorted -> Ty.Set sorted
-      | _ -> assert false)
+      Ty.Set (Value.normalise_set alphabet)
   | ID name ->
       adv st;
       Ty.Obj name

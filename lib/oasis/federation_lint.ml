@@ -1,0 +1,308 @@
+(** Federation-wide static analysis of the cross-service role graph.
+
+    Per-rolefile checks ({!Oasis_rdl.Analyze}) see one policy at a time; a
+    federation of services can still be mis-wired as a whole: services grant
+    roles on the strength of roles of other services (§2.10), so the
+    credential graph can contain cycles no statement bootstraps (every
+    service waits on the other — a bootstrap deadlock), roles no chain of
+    statements can ever reach, and revocation gaps where a prerequisite is
+    revocable but its consumer never hears about it (§3.2.3's [*]
+    annotations only cascade along event channels between known services).
+
+    Diagnostic codes (continuing {!Oasis_rdl.Analyze}'s space):
+
+    - [OASIS001] error — credential cycle with no bootstrap (deadlock);
+    - [OASIS002] warning — role is unreachable from the federation's axioms;
+    - [OASIS003] error — reference to a role the named federation service
+      does not define;
+    - [OASIS004] warning — starred prerequisite from a service outside the
+      federation: there is no revocation channel to cascade over;
+    - [OASIS005] info — revocable prerequisite consumed without [*]:
+      revoking it will not cascade to the derived role. *)
+
+module Ast = Oasis_rdl.Ast
+module Infer = Oasis_rdl.Infer
+module Analyze = Oasis_rdl.Analyze
+
+type member = { fl_name : string; fl_file : string; fl_rolefile : Ast.rolefile }
+
+type node = string * string (* service, role *)
+
+type t = {
+  members : member list;
+  sigs : (string, Infer.result) Hashtbl.t;  (** per-member self inference *)
+}
+
+let make members =
+  let sigs = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      match Infer.infer m.fl_rolefile with
+      | Ok r -> Hashtbl.replace sigs m.fl_name r
+      | Error _ -> () (* the per-file pass reports it; sigs stay unknown *))
+    members;
+  { members; sigs }
+
+let of_registry reg =
+  make
+    (List.map
+       (fun s ->
+         { fl_name = Service.name s; fl_file = Service.name s; fl_rolefile = Service.rolefile s })
+       (Service.services reg))
+
+let member_names t = List.map (fun m -> m.fl_name) t.members
+
+(* Analysis context for any one member: external signatures resolve against
+   the sibling members' inferred signatures. *)
+let member_context t =
+  {
+    Analyze.default_context with
+    Analyze.infer =
+      {
+        Infer.no_callbacks with
+        Infer.external_sig =
+          (fun ~service ~role ->
+            match Hashtbl.find_opt t.sigs service with
+            | Some r -> Infer.signature r role
+            | None -> None);
+      };
+  }
+
+(* Roles a member defines: by entry statement or by [def] declaration. *)
+let defined_roles m =
+  List.sort_uniq compare
+    (Ast.defined_roles m.fl_rolefile
+    @ List.map (fun d -> d.Ast.decl_name) (Ast.defs m.fl_rolefile))
+
+let resolve_ref me (r : Ast.role_ref) : node =
+  match r.Ast.sref.Ast.service with None -> (me, r.Ast.role) | Some s -> (s, r.Ast.role)
+
+(* Prerequisite nodes of an entry: credentials plus the elector role (an
+   election cannot happen until someone holds the elector role). *)
+let prereqs me e =
+  List.map (resolve_ref me) e.Ast.creds
+  @ (match e.Ast.elector with Some r -> [ resolve_ref me r ] | None -> [])
+
+(* The set of nodes derivable from the federation's axioms: an entry fires
+   once all its prerequisites are reachable and its constraint is not
+   provably unsatisfiable.  Nodes of services outside the federation are
+   assumed reachable (we cannot see their policies), so the verdict is an
+   over-approximation: a role reported unreachable really is. *)
+let closure t (init : node list) =
+  let known = member_names t in
+  let reach : (node, unit) Hashtbl.t = Hashtbl.create 64 in
+  let reachable n = Hashtbl.mem reach n || not (List.mem (fst n) known) in
+  List.iter (fun n -> Hashtbl.replace reach n ()) init;
+  let firable m e =
+    (match e.Ast.constr with Some c -> Analyze.sat c <> `Unsat | None -> true)
+    && List.for_all reachable (prereqs m.fl_name e)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        List.iter
+          (fun e ->
+            let head = (m.fl_name, fst e.Ast.head) in
+            if (not (Hashtbl.mem reach head)) && firable m e then begin
+              Hashtbl.replace reach head ();
+              changed := true
+            end)
+          (Ast.entries m.fl_rolefile))
+      t.members
+  done;
+  reach
+
+let reachable t = closure t []
+
+let can_reach t ~holder ~target =
+  Hashtbl.mem (closure t [ holder ]) target || not (List.mem (fst target) (member_names t))
+
+(* Roles a holder of [holder] can go on to acquire that are not derivable
+   without it — the privilege-escalation frontier.  Elector prerequisites
+   are treated as satisfied whenever the elector role is itself acquirable
+   (a colluding elector), and constraints as satisfiable unless provably
+   not, so the set is an upper bound on what the holder can reach. *)
+let escalation t ~holder =
+  let base = reachable t in
+  let with_holder = closure t [ holder ] in
+  Hashtbl.fold
+    (fun n () acc -> if Hashtbl.mem base n then acc else n :: acc)
+    with_holder []
+  |> List.filter (fun n -> n <> holder)
+  |> List.sort compare
+
+(* Strongly connected components (Tarjan) of the role-dependency graph
+   restricted to federation nodes. *)
+let sccs nodes edges =
+  let index : (node, int) Hashtbl.t = Hashtbl.create 64 in
+  let low : (node, int) Hashtbl.t = Hashtbl.create 64 in
+  let on_stack : (node, unit) Hashtbl.t = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace low v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find low w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace low v (min (Hashtbl.find low v) (Hashtbl.find index w)))
+      (try Hashtbl.find_all edges v with Not_found -> []);
+    if Hashtbl.find low v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.remove on_stack w;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  !out
+
+let node_str (s, r) = s ^ "." ^ r
+
+let check ?(per_file = false) t =
+  let diags = ref [] in
+  let add ?(sev = Analyze.Error) ~file ~line code fmt =
+    Format.kasprintf
+      (fun message ->
+        diags := { Analyze.code; severity = sev; file; line; message } :: !diags)
+      fmt
+  in
+  let known = member_names t in
+  let member name = List.find_opt (fun m -> String.equal m.fl_name name) t.members in
+  (* First entry line for a role, as the diagnostic anchor. *)
+  let role_line name role =
+    match member name with
+    | None -> 0
+    | Some m ->
+        List.fold_left
+          (fun acc e ->
+            if acc = 0 && String.equal (fst e.Ast.head) role then e.Ast.entry_line else acc)
+          0
+          (Ast.entries m.fl_rolefile)
+  in
+  let role_file name = match member name with Some m -> m.fl_file | None -> name in
+
+  (* Per-file diagnostics under each member's federation context. *)
+  if per_file then
+    List.iter
+      (fun m ->
+        diags :=
+          List.rev_append
+            (List.rev (Analyze.check ~file:m.fl_file ~context:(member_context t) m.fl_rolefile))
+            !diags)
+      t.members;
+
+  (* OASIS003 / OASIS004 / OASIS005: per-reference checks. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun e ->
+          let line = e.Ast.entry_line in
+          let refs =
+            List.map (fun r -> (`Cred, r)) e.Ast.creds
+            @ (match e.Ast.elector with Some r -> [ (`Elector, r) ] | None -> [])
+            @ (match e.Ast.revoker with Some r -> [ (`Revoker, r) ] | None -> [])
+          in
+          List.iter
+            (fun (kind, r) ->
+              let svc, role = resolve_ref m.fl_name r in
+              let external_ref = Option.is_some r.Ast.sref.Ast.service in
+              if external_ref && List.mem svc known then begin
+                match member svc with
+                | Some peer when not (List.mem role (defined_roles peer)) ->
+                    add ~file:m.fl_file ~line "OASIS003"
+                      "service %s defines no role %s" svc role
+                | _ -> ()
+              end;
+              if external_ref && r.Ast.starred && not (List.mem svc known) then
+                add ~sev:Analyze.Warning ~file:m.fl_file ~line "OASIS004"
+                  "starred prerequisite %s is issued outside the federation: there is \
+                   no revocation channel to cascade over"
+                  (node_str (svc, role));
+              if kind = `Cred && (not r.Ast.starred) && List.mem svc known then
+                add ~sev:Analyze.Info ~file:m.fl_file ~line "OASIS005"
+                  "prerequisite %s is revocable but consumed without *; revoking it \
+                   will not revoke %s"
+                  (node_str (svc, role))
+                  (fst e.Ast.head))
+            refs)
+        (Ast.entries m.fl_rolefile))
+    t.members;
+
+  (* Reachability and cycles. *)
+  let reach = reachable t in
+  let nodes =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun role ->
+            if
+              List.exists
+                (fun e -> String.equal (fst e.Ast.head) role)
+                (Ast.entries m.fl_rolefile)
+            then Some (m.fl_name, role)
+            else None)
+          (defined_roles m))
+      t.members
+  in
+  (* head -> prerequisite edges, federation nodes only. *)
+  let edges : (node, node) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun e ->
+          let head = (m.fl_name, fst e.Ast.head) in
+          List.iter
+            (fun p -> if List.mem (fst p) known then Hashtbl.add edges head p)
+            (prereqs m.fl_name e))
+        (Ast.entries m.fl_rolefile))
+    t.members;
+  let in_deadlock : (node, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun scc ->
+      let cyclic =
+        match scc with
+        | [ v ] -> List.exists (fun w -> w = v) (Hashtbl.find_all edges v)
+        | _ -> List.length scc > 1
+      in
+      if cyclic && List.for_all (fun n -> not (Hashtbl.mem reach n)) scc then begin
+        List.iter (fun n -> Hashtbl.replace in_deadlock n ()) scc;
+        let anchor = List.hd (List.sort compare scc) in
+        add
+          ~file:(role_file (fst anchor))
+          ~line:(role_line (fst anchor) (snd anchor))
+          "OASIS001" "credential cycle %s has no bootstrap: no service can issue the \
+                      first credential (deadlock)"
+          (String.concat " -> " (List.map node_str (scc @ [ List.hd scc ])))
+      end)
+    (sccs nodes edges);
+  List.iter
+    (fun n ->
+      if (not (Hashtbl.mem reach n)) && not (Hashtbl.mem in_deadlock n) then
+        add ~sev:Analyze.Warning
+          ~file:(role_file (fst n))
+          ~line:(role_line (fst n) (snd n))
+          "OASIS002" "role %s is unreachable: no chain of statements starting from the \
+                      federation's axioms can enter it"
+          (node_str n))
+    nodes;
+  List.stable_sort
+    (fun a b ->
+      compare (a.Analyze.file, a.Analyze.line, a.Analyze.code)
+        (b.Analyze.file, b.Analyze.line, b.Analyze.code))
+    (List.rev !diags)

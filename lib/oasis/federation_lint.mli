@@ -1,0 +1,67 @@
+(** Federation-wide static analysis of the cross-service role graph.
+
+    {!Oasis_rdl.Analyze} checks one rolefile at a time; this module checks
+    the federation as a whole — services grant roles on the strength of
+    roles of other services (§2.10), so the credential graph can contain
+    bootstrap deadlocks, unreachable roles and revocation gaps that no
+    single-file analysis can see.
+
+    Diagnostic codes (continuing the [RDLnnn] space):
+
+    {v
+    code      severity  meaning
+    OASIS001  error     credential cycle with no bootstrap (deadlock)
+    OASIS002  warning   role unreachable from the federation's axioms
+    OASIS003  error     reference to a role a federation service lacks
+    OASIS004  warning   starred prerequisite from outside the federation
+                        (no revocation channel to cascade over)
+    OASIS005  info      revocable prerequisite consumed without *
+    v} *)
+
+type member = {
+  fl_name : string;  (** service name, as used in [Service.role] references *)
+  fl_file : string;  (** diagnostic anchor, e.g. the rolefile path *)
+  fl_rolefile : Oasis_rdl.Ast.rolefile;
+}
+
+type node = string * string
+(** A role of a service: [(service, role)]. *)
+
+type t
+
+val make : member list -> t
+(** Build the federation and run per-member type inference (members whose
+    inference fails keep unknown signatures; the per-file pass reports the
+    error itself). *)
+
+val of_registry : Service.registry -> t
+(** The federation of every service currently registered. *)
+
+val member_context : t -> Oasis_rdl.Analyze.context
+(** A per-file analysis context whose [external_sig] resolves against the
+    other members' inferred signatures. *)
+
+val check : ?per_file:bool -> t -> Oasis_rdl.Analyze.diag list
+(** Federation-wide diagnostics, sorted by (file, line, code).  With
+    [per_file] (default false) the per-rolefile {!Oasis_rdl.Analyze.check}
+    diagnostics for each member are included too, computed under
+    {!member_context}. *)
+
+val reachable : t -> (node, unit) Hashtbl.t
+(** Least fixpoint of role derivability from the federation's axioms
+    (entries with no prerequisites).  Roles of services outside the
+    federation are assumed reachable, so "not in the table" is a proof of
+    unreachability, not the converse. *)
+
+val can_reach : t -> holder:node -> target:node -> bool
+(** Privilege-escalation query: can a principal holding [holder] (with
+    colluding electors, and treating constraints as satisfiable unless
+    provably not) ever acquire [target]?  An upper bound: [false] is a
+    guarantee. *)
+
+val escalation : t -> holder:node -> node list
+(** The escalation frontier: roles acquirable with [holder] that are not
+    derivable from the axioms alone.  Sorted; excludes [holder] itself. *)
+
+val node_str : node -> string
+(** ["service.role"]. *)

@@ -3,6 +3,7 @@ module Ast = Oasis_rdl.Ast
 module Eval = Oasis_rdl.Eval
 module Parser = Oasis_rdl.Parser
 module Infer = Oasis_rdl.Infer
+module Analyze = Oasis_rdl.Analyze
 module Bitset = Oasis_util.Bitset
 module Signing = Oasis_util.Signing
 module Prng = Oasis_util.Prng
@@ -143,6 +144,10 @@ and registry = (string, t) Hashtbl.t
 
 let create_registry () : registry = Hashtbl.create 16
 let find_service reg n : t option = Hashtbl.find_opt reg n
+
+let services reg =
+  Hashtbl.fold (fun _ t acc -> t :: acc) reg []
+  |> List.sort (fun a b -> String.compare a.sv_name b.sv_name)
 
 let name t = t.sv_name
 let host t = t.sv_host
@@ -357,7 +362,8 @@ let recover_ref : (t -> unit) ref = ref (fun _ -> ())
 let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs = [])
     ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
     ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0)
-    ?(batch_notifications = true) ?(sig_cache_cap = 1024) ?disk ?(snapshot_every = 128) () =
+    ?(batch_notifications = true) ?(sig_cache_cap = 1024) ?disk ?(snapshot_every = 128)
+    ?(lint = `Warn) () =
   match Parser.parse_result ?resolve_literal rolefile with
   | Error e -> Error e
   | Ok parsed -> (
@@ -375,6 +381,36 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
       match Infer.infer ~callbacks parsed with
       | Error e -> Error ("type error: " ^ e)
       | Ok sigs -> (
+          let lint_gate =
+            match lint with
+            | `Off -> None
+            | (`Warn | `Strict) as mode ->
+                let context =
+                  {
+                    Analyze.default_context with
+                    Analyze.infer = callbacks;
+                    known_funcs = Some (List.map fst funcs @ [ "unixacl"; "acl" ]);
+                  }
+                in
+                let diags = Analyze.check ~file:sv_name ~context parsed in
+                let gating = List.filter (Analyze.gates ~strict:(mode = `Strict)) diags in
+                (match gating with
+                | [] ->
+                    (* Non-gating findings are logged, not fatal. *)
+                    List.iter
+                      (fun d -> Logs.warn (fun m -> m "%s" (Analyze.diag_to_string d)))
+                      diags;
+                    None
+                | d :: _ ->
+                    Some
+                      (Printf.sprintf "lint: %s%s" (Analyze.diag_to_string d)
+                         (match List.length gating with
+                         | 1 -> ""
+                         | n -> Printf.sprintf " (and %d more issue(s))" (n - 1))))
+          in
+          match lint_gate with
+          | Some e -> Error e
+          | None -> (
           match assign_role_bits parsed with
           | Error e -> Error e
           | Ok bits ->
@@ -513,7 +549,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                             (Broker.signal t.sv_broker "ModifiedBatch" [ Value.Str digest ]));
                       Trace.finish tr sp
                     end);
-              Ok t))
+              Ok t)))
 
 (* --- Modified event notification for records other services depend on --- *)
 

@@ -21,6 +21,10 @@ type registry
 val create_registry : unit -> registry
 val find_service : registry -> string -> t option
 
+val services : registry -> t list
+(** Every registered service, sorted by name.  Used by federation-wide
+    tooling ({!Federation_lint}). *)
+
 val create :
   Oasis_sim.Net.t ->
   Oasis_sim.Net.host ->
@@ -39,9 +43,17 @@ val create :
   ?sig_cache_cap:int ->
   ?disk:Oasis_store.Disk.t ->
   ?snapshot_every:int ->
+  ?lint:[ `Off | `Warn | `Strict ] ->
   unit ->
   (t, string) result
 (** Parse + type-check the rolefile and install the service.
+
+    [lint] (default [`Warn]) gates registration on the static analyzer
+    ({!Oasis_rdl.Analyze}): error-severity diagnostics (never-fires
+    statements, unsatisfiable constraints, unknown extension functions,
+    arity/type errors) fail [create]; warnings are logged via {!Logs}.
+    [`Strict] also fails on warnings; [`Off] skips the analyzer entirely
+    (the pre-lint behaviour).
 
     [sig_length]: signature length in hex chars (§4.2's per-service
     trade-off; default 16).  [cache_validation]: cache signature checks

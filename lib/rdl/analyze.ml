@@ -1,0 +1,570 @@
+(** Static analysis of RDL rolefiles (lint).
+
+    The role-entry engine (§3.2.2) starts every statement with an {e empty}
+    environment: variables are bound by credential-argument matching, elector
+    unification, and [x <- e] / [x = e] binds, and the head arguments are
+    synthesised from that environment at the end.  A statement whose head or
+    constraint mentions a variable that can never be bound does not fail
+    loudly — it silently never fires.  This module turns that defect class
+    (and several others) into diagnostics at registration time instead of
+    silent denials at run time.
+
+    Each diagnostic carries a stable code:
+
+    - [RDL000] — source does not parse (from {!check_src});
+    - [RDL001] — variable can never be bound (error);
+    - [RDL002] — [x <- e] binder never used (warning);
+    - [RDL003] — variable bound more than once by [<-] (warning);
+    - [RDL004] — duplicate entry statement (warning);
+    - [RDL005] — arity mismatch (error, from {!Infer});
+    - [RDL006] — type error (error, from {!Infer});
+    - [RDL007] — unknown extension function (error);
+    - [RDL008] — unknown group in an [in] constraint (warning);
+    - [RDL009] — unused import (warning);
+    - [RDL010] — object type used in a [def] but never imported (warning);
+    - [RDL011] — constraint is unsatisfiable, entry can never fire (error).
+
+    Federation-wide checks (cycles, reachability, revocation gaps) live in
+    [Oasis.Federation_lint] and reuse this module's diagnostic type. *)
+
+open Ast
+
+type severity = Error | Warning | Info
+
+type diag = {
+  code : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+}
+
+type context = {
+  infer : Infer.callbacks;
+      (** Signature callbacks used for the arity/type pass (RDL005/RDL006). *)
+  known_funcs : string list option;
+      (** When [Some], extension-function names outside the list are RDL007.
+          [None] disables the check (the function universe is unknown). *)
+  known_groups : string list option;
+      (** When [Some], group names outside the list are RDL008.  [None]
+          disables the check (services create groups lazily). *)
+  ambient : string list;
+      (** Variables considered pre-bound in every entry (none in stock
+          OASIS; hook for embedders with implicit parameters). *)
+}
+
+let default_context =
+  { infer = Infer.no_callbacks; known_funcs = None; known_groups = None; ambient = [] }
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let pp_diag ppf d =
+  Format.fprintf ppf "%s:%d: %s %s: %s" d.file d.line (severity_to_string d.severity) d.code
+    d.message
+
+let diag_to_string d = Format.asprintf "%a" pp_diag d
+
+let diag_to_json d =
+  Oasis_util.Json.Obj
+    [
+      ("file", Oasis_util.Json.Str d.file);
+      ("line", Oasis_util.Json.Int d.line);
+      ("severity", Oasis_util.Json.Str (severity_to_string d.severity));
+      ("code", Oasis_util.Json.Str d.code);
+      ("message", Oasis_util.Json.Str d.message);
+    ]
+
+let gates ~strict d =
+  match d.severity with Error -> true | Warning -> strict | Info -> false
+
+let errors diags = List.filter (fun d -> d.severity = Error) diags
+
+(* ------------------------------------------------------------------ *)
+(* Constraint satisfiability (RDL011).                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The checker is a sound "provably unsatisfiable" test: NNF, then DNF with a
+   width cap, then per-conjunct reasoning — constant folding of literal
+   relations (via Eval.compare_rel), same-variable comparisons, integer
+   interval tracking per variable, equality/disequality sets, and
+   opposite-polarity detection on syntactically identical opaque atoms.
+   [`Sat] is only returned when some conjunct is fully decided. *)
+
+let negate_rel = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt | Le -> Gt | Gt -> Le
+
+(* An NNF literal: relops absorb negation into the operator, so only the
+   other atom forms can appear negated. *)
+type lit = Pos of constr | Neg of constr
+
+exception Too_wide
+
+let dnf_cap = 256
+
+let rec dnf neg c : lit list list =
+  match c with
+  | Cand (a, b) -> if neg then dnf_union (dnf true a) (dnf true b) else dnf_product neg a b
+  | Cor (a, b) -> if neg then dnf_product true a b else dnf_union (dnf false a) (dnf false b)
+  | Cnot c -> dnf (not neg) c
+  | Cstar c -> dnf neg c
+  | Crel (op, a, b) -> [ [ Pos (Crel ((if neg then negate_rel op else op), a, b)) ] ]
+  | (Cin _ | Csubset _ | Ccall _ | Cbind _) as atom ->
+      [ [ (if neg then Neg atom else Pos atom) ] ]
+
+and dnf_product neg a b =
+  let da = dnf neg a and db = dnf neg b in
+  if List.length da * List.length db > dnf_cap then raise Too_wide;
+  List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+
+and dnf_union da db = if List.length da + List.length db > dnf_cap then raise Too_wide; da @ db
+
+(* Per-variable facts accumulated over a conjunct.  [lo]/[hi] are inclusive
+   integer bounds (only consulted for integer-valued variables); [eqv] a
+   required value; [nev] excluded values. *)
+type facts = { mutable lo : int; mutable hi : int; mutable eqv : Value.t option; mutable nev : Value.t list }
+
+exception Conj_unsat
+
+let unsat_conjunct lits =
+  let vars : (string, facts) Hashtbl.t = Hashtbl.create 8 in
+  let opaque : (string, bool) Hashtbl.t = Hashtbl.create 8 in
+  let certain = ref true in
+  let fact v =
+    match Hashtbl.find_opt vars v with
+    | Some f -> f
+    | None ->
+        let f = { lo = min_int; hi = max_int; eqv = None; nev = [] } in
+        Hashtbl.replace vars v f;
+        f
+  in
+  let check_int_fact f =
+    if f.lo > f.hi then raise Conj_unsat;
+    match f.eqv with
+    | Some (Value.Int k) -> if k < f.lo || k > f.hi then raise Conj_unsat
+    | _ -> ()
+  in
+  let require_eq v value =
+    let f = fact v in
+    (match f.eqv with
+    | Some v' -> if not (Value.equal v' value) then raise Conj_unsat
+    | None -> f.eqv <- Some value);
+    if List.exists (Value.equal value) f.nev then raise Conj_unsat;
+    (match value with
+    | Value.Int k ->
+        f.lo <- max f.lo k;
+        f.hi <- min f.hi k
+    | _ -> ());
+    check_int_fact f
+  in
+  let require_ne v value =
+    let f = fact v in
+    (match f.eqv with Some v' -> if Value.equal v' value then raise Conj_unsat | None -> ());
+    if not (List.exists (Value.equal value) f.nev) then f.nev <- value :: f.nev
+  in
+  (* Bound [x op k]: updates the interval.  Lt/Gt shift to inclusive bounds,
+     saturating at the integer limits. *)
+  let require_bound v op k =
+    let f = fact v in
+    (match op with
+    | Lt -> if k = min_int then raise Conj_unsat else f.hi <- min f.hi (k - 1)
+    | Le -> f.hi <- min f.hi k
+    | Gt -> if k = max_int then raise Conj_unsat else f.lo <- max f.lo (k + 1)
+    | Ge -> f.lo <- max f.lo k
+    | Eq | Ne -> ());
+    check_int_fact f
+  in
+  (* Opaque atoms: canonical key + polarity; a key present with both
+     polarities is a contradiction.  Eq/Ne normalise to a sorted "eq" key,
+     the four orderings normalise to a strict "lt" key (y <= x  <=>  not
+     (x < y) over integers). *)
+  let expr_key e = Format.asprintf "%a" Pretty.pp_expr e in
+  let register key pol =
+    (match Hashtbl.find_opt opaque key with
+    | Some pol' -> if pol <> pol' then raise Conj_unsat
+    | None -> Hashtbl.replace opaque key pol);
+    certain := false
+  in
+  let opaque_rel op a b =
+    let pa = expr_key a and pb = expr_key b in
+    match op with
+    | Eq | Ne ->
+        let lo, hi = if pa <= pb then (pa, pb) else (pb, pa) in
+        register (Printf.sprintf "eq:%s|%s" lo hi) (op = Eq)
+    | Lt -> register (Printf.sprintf "lt:%s|%s" pa pb) true
+    | Gt -> register (Printf.sprintf "lt:%s|%s" pb pa) true
+    | Ge -> register (Printf.sprintf "lt:%s|%s" pa pb) false
+    | Le -> register (Printf.sprintf "lt:%s|%s" pb pa) false
+  in
+  let rel op a b =
+    match (a, b) with
+    | Elit va, Elit vb -> (
+        match Eval.compare_rel op va vb with
+        | Ok true -> ()
+        | Ok false -> raise Conj_unsat
+        (* An ill-typed comparison errors at run time, so the entry can
+           never fire either way. *)
+        | Error _ -> raise Conj_unsat)
+    | Evar x, Evar y when String.equal x y -> (
+        match op with Eq | Le | Ge -> () | Ne | Lt | Gt -> raise Conj_unsat)
+    | Evar x, Elit v | Elit v, Evar x -> (
+        let op = match a with Evar _ -> op | _ -> (* k op x  <=>  x op' k *)
+          (match op with Lt -> Gt | Gt -> Lt | Le -> Ge | Ge -> Le | Eq -> Eq | Ne -> Ne)
+        in
+        match (op, v) with
+        | Eq, _ -> require_eq x v
+        | Ne, _ -> require_ne x v
+        | (Lt | Le | Gt | Ge), Value.Int k -> require_bound x op k
+        | (Lt | Le | Gt | Ge), _ ->
+            (* Ordering against a non-integer literal errors at run time. *)
+            raise Conj_unsat)
+    | _ -> opaque_rel op a b
+  in
+  let atom pol = function
+    | Crel (op, a, b) -> if pol then rel op a b else rel (negate_rel op) a b
+    | Cin (e, g) -> register (Printf.sprintf "in:%s|%s" (expr_key e) g) pol
+    | Csubset (Elit (Value.Set _ as va), Elit (Value.Set _ as vb)) ->
+        if Value.set_subset va vb <> pol then raise Conj_unsat
+    | Csubset (a, b) -> register (Printf.sprintf "sub:%s|%s" (expr_key a) (expr_key b)) pol
+    | Ccall (name, args) ->
+        register (Printf.sprintf "call:%s" (Pretty.constr_to_string (Ccall (name, args)))) pol
+    | Cbind (x, e) ->
+        (* After [x <- e] runs (bind or test), x = e holds; constant binds
+           therefore behave like equalities for satisfiability. *)
+        if pol then (match e with Elit v -> require_eq x v | _ -> certain := false)
+        else certain := false
+    | Cand _ | Cor _ | Cnot _ | Cstar _ -> certain := false (* not reachable after dnf *)
+  in
+  try
+    List.iter (function Pos c -> atom true c | Neg c -> atom false c) lits;
+    (* Final per-variable sweep: a fully pinned interval may still be
+       emptied by the disequality set. *)
+    Hashtbl.iter
+      (fun _ f ->
+        check_int_fact f;
+        let ne_ints =
+          List.sort_uniq compare
+            (List.filter_map
+               (function Value.Int k when k >= f.lo && k <= f.hi -> Some k | _ -> None)
+               f.nev)
+        in
+        (* Same-sign bounds subtract without overflow; mixed signs mean the
+           interval is far larger than any disequality list. *)
+        if
+          f.lo < 0 = (f.hi < 0)
+          && f.hi - f.lo < List.length ne_ints
+          && List.length ne_ints > 0
+        then raise Conj_unsat;
+        if f.lo = f.hi && List.mem f.lo ne_ints then raise Conj_unsat)
+      vars;
+    if !certain then `Sat else `Maybe
+  with Conj_unsat -> `Unsat
+
+let sat c =
+  match dnf false c with
+  | exception Too_wide -> `Unknown
+  | conjuncts ->
+      let verdicts = List.map unsat_conjunct conjuncts in
+      if List.exists (( = ) `Sat) verdicts then `Sat
+      else if List.exists (( = ) `Maybe) verdicts then `Unknown
+      else `Unsat
+
+(* ------------------------------------------------------------------ *)
+(* Binding analysis (RDL001-RDL003).                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bind-capable constraint forms: [x <- e] always, and [x = e] which binds
+   when x is still unbound (§3.2.4).  Collected everywhere in the
+   constraint, including under or/not — an over-approximation that avoids
+   false positives on disjunctive binding patterns. *)
+let rec bind_forms acc = function
+  | Cand (a, b) | Cor (a, b) -> bind_forms (bind_forms acc a) b
+  | Cnot c | Cstar c -> bind_forms acc c
+  | Cbind (x, e) -> (x, e) :: acc
+  | Crel (Eq, Evar x, e) -> (x, e) :: acc
+  | Crel _ | Cin _ | Csubset _ | Ccall _ -> acc
+
+let ref_vars r = List.filter_map (function Avar v -> Some v | Alit _ -> None) r.ref_args
+
+(* Least fixpoint of bindability: credential and elector arguments bind
+   directly; a bind form [x <- e] binds x once every variable of e is
+   bindable. *)
+let bindable_vars context entry =
+  let b : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun v -> Hashtbl.replace b v ()) context.ambient;
+  let add_ref r = List.iter (fun v -> Hashtbl.replace b v ()) (ref_vars r) in
+  List.iter add_ref entry.creds;
+  Option.iter add_ref entry.elector;
+  (* Revoker arguments are matched at revocation time; they bind nothing at
+     role entry. *)
+  let forms = match entry.constr with None -> [] | Some c -> bind_forms [] c in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (x, e) ->
+        if (not (Hashtbl.mem b x)) && List.for_all (Hashtbl.mem b) (expr_vars e) then begin
+          Hashtbl.replace b x ();
+          changed := true
+        end)
+      forms
+  done;
+  b
+
+(* An entry with no credentials, no elector and no constraint is the
+   declaration idiom (e.g. [LoggedOn(u, h) <-]): it is never fired by the
+   matching engine but bootstrapped via issue_arbitrary, so its head
+   variables are parameters, not defects. *)
+let is_axiom e = e.creds = [] && e.elector = None && e.constr = None
+
+(* ------------------------------------------------------------------ *)
+(* The per-rolefile checker.                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Names of extension functions and groups used in a constraint. *)
+let rec funcs_used acc = function
+  | Cand (a, b) | Cor (a, b) -> funcs_used (funcs_used acc a) b
+  | Cnot c | Cstar c -> funcs_used acc c
+  | Crel (_, a, b) | Csubset (a, b) -> expr_funcs (expr_funcs acc a) b
+  | Cin (e, _) -> expr_funcs acc e
+  | Ccall (name, args) -> List.fold_left expr_funcs (name :: acc) args
+  | Cbind (_, e) -> expr_funcs acc e
+
+and expr_funcs acc = function
+  | Elit _ | Evar _ -> acc
+  | Ecall (name, args) -> List.fold_left expr_funcs (name :: acc) args
+
+let rec groups_used acc = function
+  | Cand (a, b) | Cor (a, b) -> groups_used (groups_used acc a) b
+  | Cnot c | Cstar c -> groups_used acc c
+  | Cin (_, g) -> g :: acc
+  | Crel _ | Csubset _ | Ccall _ | Cbind _ -> acc
+
+(* Object type names mentioned by literals anywhere in an entry. *)
+let entry_obj_types e =
+  let acc = ref [] in
+  let value = function Value.Obj (ty, _) -> acc := ty :: !acc | _ -> () in
+  let arg = function Alit v -> value v | Avar _ -> () in
+  let rec expr = function
+    | Elit v -> value v
+    | Evar _ -> ()
+    | Ecall (_, args) -> List.iter expr args
+  in
+  let rec constr = function
+    | Cand (a, b) | Cor (a, b) ->
+        constr a;
+        constr b
+    | Cnot c | Cstar c -> constr c
+    | Crel (_, a, b) | Csubset (a, b) ->
+        expr a;
+        expr b
+    | Cin (x, _) -> expr x
+    | Ccall (_, args) -> List.iter expr args
+    | Cbind (_, x) -> expr x
+  in
+  List.iter arg (snd e.head);
+  List.iter (fun r -> List.iter arg r.ref_args) e.creds;
+  Option.iter (fun r -> List.iter arg r.ref_args) e.elector;
+  Option.iter (fun r -> List.iter arg r.ref_args) e.revoker;
+  Option.iter constr e.constr;
+  !acc
+
+let check ?(file = "<rolefile>") ?(context = default_context) rolefile =
+  let diags = ref [] in
+  let add ?(sev = Error) ~line code fmt =
+    Format.kasprintf
+      (fun message -> diags := { code; severity = sev; file; line; message } :: !diags)
+      fmt
+  in
+  let ents = entries rolefile in
+
+  (* RDL001/RDL002/RDL003: binding analysis per entry. *)
+  List.iter
+    (fun e ->
+      if not (is_axiom e) then begin
+        let b = bindable_vars context e in
+        let name, args = e.head in
+        List.iter
+          (function
+            | Avar v when not (Hashtbl.mem b v) ->
+                add ~line:e.entry_line "RDL001"
+                  "head parameter %s of %s can never be bound (no credential or elector \
+                   argument, and no evaluable binding, mentions it); this statement can \
+                   never fire"
+                  v name
+            | Avar _ | Alit _ -> ())
+          args;
+        Option.iter
+          (fun c ->
+            List.iter
+              (fun v ->
+                if not (Hashtbl.mem b v) then
+                  add ~line:e.entry_line "RDL001"
+                    "constraint variable %s can never be bound; this statement can never \
+                     fire"
+                    v)
+              (constr_vars c))
+          e.constr
+      end;
+      (* RDL002/RDL003 apply to explicit binds even in axiom-style entries
+         (which cannot have constraints anyway). *)
+      match e.constr with
+      | None -> ()
+      | Some c ->
+          let positional : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun r -> List.iter (fun v -> Hashtbl.replace positional v ()) (ref_vars r))
+            e.creds;
+          Option.iter
+            (fun r -> List.iter (fun v -> Hashtbl.replace positional v ()) (ref_vars r))
+            e.elector;
+          let head_vars =
+            List.filter_map (function Avar v -> Some v | Alit _ -> None) (snd e.head)
+          in
+          (* Occurrences of each variable in expression (use) position:
+             everything except the lhs of [x <- e]. *)
+          let uses : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+          let use_expr x = List.iter (fun v -> Hashtbl.replace uses v ()) (expr_vars x) in
+          let rec walk = function
+            | Cand (a, b) | Cor (a, b) ->
+                walk a;
+                walk b
+            | Cnot d | Cstar d -> walk d
+            | Crel (_, a, b) | Csubset (a, b) ->
+                use_expr a;
+                use_expr b
+            | Cin (x, _) -> use_expr x
+            | Ccall (_, args) -> List.iter use_expr args
+            | Cbind (_, x) -> use_expr x
+          in
+          walk c;
+          (* Explicit [x <- e] binders, in source order. *)
+          let explicit =
+            let rec collect acc = function
+              | Cand (a, b) | Cor (a, b) -> collect (collect acc a) b
+              | Cnot d | Cstar d -> collect acc d
+              | Cbind (x, _) -> x :: acc
+              | Crel _ | Cin _ | Csubset _ | Ccall _ -> acc
+            in
+            List.rev (collect [] c)
+          in
+          List.iter
+            (fun x ->
+              if
+                (not (Hashtbl.mem positional x))
+                && (not (Hashtbl.mem uses x))
+                && not (List.mem x head_vars)
+              then
+                add ~sev:Warning ~line:e.entry_line "RDL002"
+                  "variable %s is bound with <- but never used" x)
+            (List.sort_uniq compare explicit);
+          let seen : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun x ->
+              if Hashtbl.mem seen x then
+                add ~sev:Warning ~line:e.entry_line "RDL003"
+                  "variable %s is bound by <- more than once; the later binding \
+                   degenerates to an equality test"
+                  x
+              else Hashtbl.replace seen x ())
+            explicit)
+    ents;
+
+  (* RDL004: duplicate entries (structural equality modulo source lines). *)
+  let seen_entries : (entry * int) list ref = ref [] in
+  List.iter
+    (fun e ->
+      let key = { e with entry_line = 0 } in
+      match List.find_opt (fun (k, _) -> k = key) !seen_entries with
+      | Some (_, first) ->
+          add ~sev:Warning ~line:e.entry_line "RDL004"
+            "entry duplicates the statement at line %d" first
+      | None -> seen_entries := (key, e.entry_line) :: !seen_entries)
+    ents;
+
+  (* RDL005/RDL006: arity and type checking via inference. *)
+  (match Infer.infer_located ~callbacks:context.infer rolefile with
+  | Ok _ -> ()
+  | Error (line, msg) ->
+      let lower = String.lowercase_ascii msg in
+      let mentions s =
+        let n = String.length s and m = String.length lower in
+        let rec go i = i + n <= m && (String.sub lower i n = s || go (i + 1)) in
+        go 0
+      in
+      if mentions "argument" || mentions "arity" then add ~line "RDL005" "%s" msg
+      else add ~line "RDL006" "%s" msg);
+
+  (* RDL007/RDL008: unknown extension functions and groups. *)
+  List.iter
+    (fun e ->
+      match e.constr with
+      | None -> ()
+      | Some c ->
+          (match context.known_funcs with
+          | None -> ()
+          | Some fns ->
+              List.iter
+                (fun f ->
+                  if not (List.mem f fns) then
+                    add ~line:e.entry_line "RDL007"
+                      "unknown extension function %s (service provides: %s)" f
+                      (match fns with [] -> "none" | _ -> String.concat ", " fns))
+                (List.sort_uniq compare (funcs_used [] c)));
+          (match context.known_groups with
+          | None -> ()
+          | Some gs ->
+              List.iter
+                (fun g ->
+                  if not (List.mem g gs) then
+                    add ~sev:Warning ~line:e.entry_line "RDL008" "unknown group %s" g)
+                (List.sort_uniq compare (groups_used [] c))))
+    ents;
+
+  (* RDL009/RDL010: import hygiene. *)
+  let imported =
+    List.filter_map
+      (function Import { line; service; tyname } -> Some (line, service, tyname) | _ -> None)
+      rolefile
+  in
+  let used_types =
+    List.concat_map entry_obj_types ents
+    @ List.concat_map
+        (fun d -> List.filter_map (fun (_, ty) -> match ty with Ty.Obj n -> Some n | _ -> None) d.param_types)
+        (defs rolefile)
+  in
+  List.iter
+    (fun (line, service, tyname) ->
+      if not (List.mem tyname used_types) then
+        add ~sev:Warning ~line "RDL009" "import %s.%s is never used" service tyname)
+    imported;
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (p, ty) ->
+          match ty with
+          | Ty.Obj n when not (List.exists (fun (_, _, t) -> String.equal t n) imported) ->
+              add ~sev:Warning ~line:d.decl_line "RDL010"
+                "parameter %s of %s has object type %s, which is not imported" p d.decl_name
+                n
+          | _ -> ())
+        d.param_types)
+    (defs rolefile);
+
+  (* RDL011: unsatisfiable constraints. *)
+  List.iter
+    (fun e ->
+      match e.constr with
+      | Some c when sat c = `Unsat ->
+          add ~line:e.entry_line "RDL011"
+            "constraint is unsatisfiable; this statement can never fire"
+      | _ -> ())
+    ents;
+
+  List.stable_sort (fun a b -> compare (a.line, a.code) (b.line, b.code)) (List.rev !diags)
+
+let check_src ?(file = "<rolefile>") ?context ?resolve_literal src =
+  match Parser.parse ?resolve_literal src with
+  | rolefile -> check ~file ?context rolefile
+  | exception Parser.Parse_error (msg, line) ->
+      [ { code = "RDL000"; severity = Error; file; line; message = "parse error: " ^ msg } ]
+  | exception Lexer.Lex_error (msg, line) ->
+      [ { code = "RDL000"; severity = Error; file; line; message = "lex error: " ^ msg } ]

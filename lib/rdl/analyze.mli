@@ -1,0 +1,92 @@
+(** Static analysis of RDL rolefiles.
+
+    The role-entry engine starts every statement with an empty environment
+    (§3.2.2), so a statement mentioning a variable that can never be bound
+    does not fail loudly — it silently never fires.  [check] turns that
+    defect class, and several others, into diagnostics at registration time:
+
+    {v
+    code    severity  meaning
+    RDL000  error     source does not parse (check_src only)
+    RDL001  error     variable can never be bound; statement never fires
+    RDL002  warning   x <- e binder never used
+    RDL003  warning   variable bound by <- more than once
+    RDL004  warning   duplicate entry statement
+    RDL005  error     arity mismatch (role or extension function)
+    RDL006  error     type error
+    RDL007  error     unknown extension function
+    RDL008  warning   unknown group in an `in' constraint
+    RDL009  warning   unused import
+    RDL010  warning   object type used in a def but never imported
+    RDL011  error     constraint unsatisfiable; statement never fires
+    v}
+
+    Federation-wide checks (credential cycles, unreachable roles, revocation
+    gaps) live in [Oasis.Federation_lint] and reuse {!diag}. *)
+
+type severity = Error | Warning | Info
+
+type diag = {
+  code : string;  (** stable code, e.g. ["RDL001"] *)
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based source line; 0 when unknown *)
+  message : string;
+}
+
+(** What the analyzer may assume about the hosting service. *)
+type context = {
+  infer : Infer.callbacks;
+      (** Signature callbacks for the arity/type pass (RDL005/RDL006). *)
+  known_funcs : string list option;
+      (** When [Some], extension functions outside the list raise RDL007;
+          [None] disables the check. *)
+  known_groups : string list option;
+      (** When [Some], groups outside the list raise RDL008; [None] disables
+          the check (services create groups lazily). *)
+  ambient : string list;
+      (** Variables treated as pre-bound in every entry (none in stock
+          OASIS). *)
+}
+
+val default_context : context
+(** No callbacks, no known function/group universe, no ambient variables. *)
+
+val check : ?file:string -> ?context:context -> Ast.rolefile -> diag list
+(** All diagnostics for one rolefile, sorted by (line, code).  [file] is the
+    anchor used in rendered diagnostics (default ["<rolefile>"]). *)
+
+val check_src :
+  ?file:string ->
+  ?context:context ->
+  ?resolve_literal:(string -> Value.t option) ->
+  string ->
+  diag list
+(** [check] on source text; parse and lex failures become a single RDL000
+    error diagnostic instead of an exception. *)
+
+val sat : Ast.constr -> [ `Sat | `Unsat | `Unknown ]
+(** Satisfiability of a constraint over unknown bindings: NNF, capped DNF,
+    then per-conjunct constant folding (via {!Eval.compare_rel}), integer
+    interval reasoning, equality/disequality sets and opposite-polarity
+    detection on identical opaque atoms.  [`Unsat] is a proof; [`Sat] is only
+    returned when some conjunct is fully decided; anything else is
+    [`Unknown]. *)
+
+val gates : strict:bool -> diag -> bool
+(** Should this diagnostic fail registration / a lint run?  Errors always
+    gate; warnings gate when [strict]; infos never gate. *)
+
+val errors : diag list -> diag list
+(** The error-severity subset. *)
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val pp_diag : Format.formatter -> diag -> unit
+(** Renders as [file:line: severity CODE: message]. *)
+
+val diag_to_string : diag -> string
+
+val diag_to_json : diag -> Oasis_util.Json.t
+(** Object with [file], [line], [severity], [code], [message] fields. *)

@@ -69,13 +69,39 @@ type entry = {
   elect_starred : bool;  (** [<|*]: revoke when the delegation is revoked *)
   revoker : role_ref option;  (** role-based revocation extension (§3.3.2) *)
   constr : constr option;
+  entry_line : int;  (** source line of the head (0 when synthesised) *)
 }
 
-type decl = { decl_name : string; params : string list; param_types : (string * Ty.t) list }
+type decl = {
+  decl_name : string;
+  params : string list;
+  param_types : (string * Ty.t) list;
+  decl_line : int;  (** source line of the [def] (0 when synthesised) *)
+}
 
-type item = Import of string * string | Def of decl | Entry of entry
+type item =
+  | Import of { line : int; service : string; tyname : string }
+  | Def of decl
+  | Entry of entry
 
 type rolefile = item list
+
+let item_line = function
+  | Import { line; _ } -> line
+  | Def d -> d.decl_line
+  | Entry e -> e.entry_line
+
+(** Zero every source-line annotation.  Line numbers are positional metadata,
+    not syntax: two rolefiles that print identically parse to ASTs differing
+    only in lines, so structural comparisons (e.g. the pretty round-trip
+    property) compare [strip_lines] images. *)
+let strip_lines rolefile =
+  List.map
+    (function
+      | Import i -> Import { i with line = 0 }
+      | Def d -> Def { d with decl_line = 0 }
+      | Entry e -> Entry { e with entry_line = 0 })
+    rolefile
 
 let entries rolefile =
   List.filter_map (function Entry e -> Some e | Import _ | Def _ -> None) rolefile
@@ -84,7 +110,9 @@ let defs rolefile =
   List.filter_map (function Def d -> Some d | Import _ | Entry _ -> None) rolefile
 
 let imports rolefile =
-  List.filter_map (function Import (s, t) -> Some (s, t) | Def _ | Entry _ -> None) rolefile
+  List.filter_map
+    (function Import { service; tyname; _ } -> Some (service, tyname) | Def _ | Entry _ -> None)
+    rolefile
 
 (** All role names defined (by entry statements) in the file, in first
     occurrence order. *)
@@ -98,16 +126,34 @@ let defined_roles rolefile =
       | Entry _ | Import _ | Def _ -> None)
     rolefile
 
-(** Variables appearing in an expression, in order of first occurrence. *)
-let rec expr_vars = function
-  | Elit _ -> []
-  | Evar v -> [ v ]
-  | Ecall (_, args) -> List.concat_map expr_vars args
+(* Accumulator-based traversals: results are built consed-then-reversed (no
+   quadratic list append on deep constraints) and deduplicated, preserving
+   first-occurrence order. *)
 
-let rec constr_vars = function
-  | Cand (a, b) | Cor (a, b) -> constr_vars a @ constr_vars b
-  | Cnot c | Cstar c -> constr_vars c
-  | Crel (_, a, b) | Csubset (a, b) -> expr_vars a @ expr_vars b
-  | Cin (e, _) -> expr_vars e
-  | Ccall (_, args) -> List.concat_map expr_vars args
-  | Cbind (x, e) -> x :: expr_vars e
+let add_var seen acc v =
+  if Hashtbl.mem seen v then acc
+  else begin
+    Hashtbl.add seen v ();
+    v :: acc
+  end
+
+let rec expr_vars_acc seen acc = function
+  | Elit _ -> acc
+  | Evar v -> add_var seen acc v
+  | Ecall (_, args) -> List.fold_left (expr_vars_acc seen) acc args
+
+let rec constr_vars_acc seen acc = function
+  | Cand (a, b) | Cor (a, b) -> constr_vars_acc seen (constr_vars_acc seen acc a) b
+  | Cnot c | Cstar c -> constr_vars_acc seen acc c
+  | Crel (_, a, b) | Csubset (a, b) -> expr_vars_acc seen (expr_vars_acc seen acc a) b
+  | Cin (e, _) -> expr_vars_acc seen acc e
+  | Ccall (_, args) -> List.fold_left (expr_vars_acc seen) acc args
+  | Cbind (x, e) -> expr_vars_acc seen (add_var seen acc x) e
+
+(** Distinct variables appearing in an expression, in order of first
+    occurrence. *)
+let expr_vars e = List.rev (expr_vars_acc (Hashtbl.create 8) [] e)
+
+(** Distinct variables appearing in a constraint (including bind targets), in
+    order of first occurrence. *)
+let constr_vars c = List.rev (constr_vars_acc (Hashtbl.create 8) [] c)

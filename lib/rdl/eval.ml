@@ -38,24 +38,28 @@ let truthy = function
   | Value.Int n -> Ok (n <> 0)
   | v -> Error (Printf.sprintf "expected boolean (integer) value, got %s" (Value.to_string v))
 
-let compare_rel op a b =
-  let ord cmp = match op with
-    | Lt -> cmp < 0
-    | Le -> cmp <= 0
-    | Gt -> cmp > 0
-    | Ge -> cmp >= 0
-    | Eq | Ne -> assert false
-  in
+(* Total over every [(relop, value, value)] combination: equality relops
+   compare any values, ordering relops require integers.  The inner match is
+   total too (no [assert false] arm): on integers [Eq]/[Ne] reduce to the
+   comparison result, consistent with [Value.equal]. *)
+let holds op cmp =
   match op with
-  | Eq -> Ok (Value.equal a b)
-  | Ne -> Ok (not (Value.equal a b))
-  | Lt | Le | Gt | Ge -> (
-      match (a, b) with
-      | Value.Int x, Value.Int y -> Ok (ord (Int.compare x y))
-      | _ ->
-          Error
-            (Printf.sprintf "ordering comparison requires integers: %s vs %s"
-               (Value.to_string a) (Value.to_string b)))
+  | Eq -> cmp = 0
+  | Ne -> cmp <> 0
+  | Lt -> cmp < 0
+  | Le -> cmp <= 0
+  | Gt -> cmp > 0
+  | Ge -> cmp >= 0
+
+let compare_rel op a b =
+  match (op, a, b) with
+  | Eq, _, _ -> Ok (Value.equal a b)
+  | Ne, _, _ -> Ok (not (Value.equal a b))
+  | (Lt | Le | Gt | Ge), Value.Int x, Value.Int y -> Ok (holds op (Int.compare x y))
+  | (Lt | Le | Gt | Ge), _, _ ->
+      Error
+        (Printf.sprintf "ordering comparison requires integers: %s vs %s" (Value.to_string a)
+           (Value.to_string b))
 
 (* [negations] counts enclosing [not]s so captured membership rules carry the
    right polarity. *)

@@ -34,6 +34,11 @@ val pure_ctx : ctx
 
 val eval_expr : ctx -> env -> Ast.expr -> (Value.t, string) result
 
+val compare_rel : Ast.relop -> Value.t -> Value.t -> (bool, string) result
+(** Total relational comparison: [Eq]/[Ne] compare any two values,
+    [Lt]/[Le]/[Gt]/[Ge] require integers (error otherwise).  Shared by the
+    evaluator and the static analyzer's constant folder. *)
+
 val eval : ctx -> env -> Ast.constr -> (bool * env * mrule list, string) result
 (** [eval ctx env c] returns the truth value, the (possibly extended)
     bindings, and membership rules captured from starred sub-expressions.

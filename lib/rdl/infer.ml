@@ -22,6 +22,10 @@ exception Fail of string
 
 let fail fmt = Format.kasprintf (fun msg -> raise (Fail msg)) fmt
 
+(* Source line of the item being checked, for located error reporting
+   ([infer_located]).  Updated as the passes walk the rolefile. *)
+let cur_line = ref 0
+
 let unify_exn ctx a b =
   match Ty.unify a b with Ok () -> () | Error msg -> fail "%s: %s" ctx msg
 
@@ -36,12 +40,14 @@ let unify_literal ctx ty v =
         fail "%s: literal %s does not inhabit type %s" ctx (Value.to_string v)
           (Ty.to_string resolved)
 
-let infer ?(callbacks = no_callbacks) rolefile =
+let infer_located ?(callbacks = no_callbacks) rolefile =
   let sigs : (string, Ty.t list) Hashtbl.t = Hashtbl.create 16 in
+  cur_line := 0;
   try
     (* Pass 1: explicit declarations. *)
     List.iter
       (fun d ->
+        cur_line := d.decl_line;
         if Hashtbl.mem sigs d.decl_name then fail "duplicate def for role %s" d.decl_name;
         let types =
           List.map
@@ -54,6 +60,7 @@ let infer ?(callbacks = no_callbacks) rolefile =
     (* Pass 2: seed signatures for roles defined by entry statements. *)
     List.iter
       (fun e ->
+        cur_line := e.entry_line;
         let name, args = e.head in
         match Hashtbl.find_opt sigs name with
         | Some types ->
@@ -64,6 +71,7 @@ let infer ?(callbacks = no_callbacks) rolefile =
       (entries rolefile);
     (* Per-statement inference. *)
     let infer_entry e =
+      cur_line := e.entry_line;
       let vars : (string, Ty.t) Hashtbl.t = Hashtbl.create 8 in
       let var_ty v =
         match Hashtbl.find_opt vars v with
@@ -161,6 +169,9 @@ let infer ?(callbacks = no_callbacks) rolefile =
         sigs []
     in
     Ok { sigs; unresolved = List.sort compare unresolved }
-  with Fail msg -> Error msg
+  with Fail msg -> Error (!cur_line, msg)
+
+let infer ?callbacks rolefile =
+  Result.map_error (fun (_, msg) -> msg) (infer_located ?callbacks rolefile)
 
 let signature result role = Hashtbl.find_opt result.sigs role

@@ -29,4 +29,10 @@ val no_callbacks : callbacks
 
 val infer : ?callbacks:callbacks -> Ast.rolefile -> (result, string) Stdlib.result
 
+val infer_located :
+  ?callbacks:callbacks -> Ast.rolefile -> (result, int * string) Stdlib.result
+(** Like {!infer}, but a failure also carries the source line of the [def] or
+    entry statement being checked when unification failed (0 if unknown).
+    Used by the static analyzer ({!Analyze}) to anchor diagnostics. *)
+
 val signature : result -> string -> Ty.t list option

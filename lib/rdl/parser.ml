@@ -255,15 +255,13 @@ let parse_type st =
       Ty.Str
   | Lexer.SETLIT alphabet ->
       advance st;
-      (match Value.set_of_chars alphabet with
-      | Value.Set sorted -> Ty.Set sorted
-      | Value.Int _ | Value.Str _ | Value.Obj _ -> assert false)
+      Ty.Set (Value.normalise_set alphabet)
   | Lexer.IDENT name ->
       advance st;
       Ty.Obj name
   | _ -> error st "expected type"
 
-let parse_def st =
+let parse_def ~line st =
   (* "def" consumed by caller. *)
   let name = ident st in
   expect st Lexer.LPAREN "'(' after role name";
@@ -303,9 +301,10 @@ let parse_def st =
       if not (List.mem p params) then
         error st (Printf.sprintf "type declared for unknown parameter %s of %s" p name))
     param_types;
-  Def { decl_name = name; params; param_types }
+  Def { decl_name = name; params; param_types; decl_line = line }
 
 let parse_entry st =
+  let line = line st in
   let name = ident st in
   let head_args =
     if peek st = Lexer.LPAREN then begin
@@ -363,7 +362,7 @@ let parse_entry st =
     end
     else None
   in
-  Entry { head = (name, head_args); creds; elector; elect_starred; revoker; constr }
+  Entry { head = (name, head_args); creds; elector; elect_starred; revoker; constr; entry_line = line }
 
 let parse ?(resolve_literal = fun _ -> None) src =
   let st = { toks = Lexer.tokenize src; resolve_literal } in
@@ -371,14 +370,16 @@ let parse ?(resolve_literal = fun _ -> None) src =
     match peek st with
     | Lexer.EOF -> List.rev acc
     | Lexer.KW_IMPORT ->
+        let ln = line st in
         advance st;
         let service = ident st in
         expect st Lexer.DOT "'.' in import";
         let tyname = ident st in
-        go (Import (service, tyname) :: acc)
+        go (Import { line = ln; service; tyname } :: acc)
     | Lexer.KW_DEF ->
+        let ln = line st in
         advance st;
-        go (parse_def st :: acc)
+        go (parse_def ~line:ln st :: acc)
     | Lexer.IDENT _ -> go (parse_entry st :: acc)
     | _ -> error st "expected 'import', 'def' or a role entry statement"
   in

@@ -87,7 +87,7 @@ let pp_entry ppf e =
   | None -> ()
 
 let pp_item ppf = function
-  | Import (service, tyname) -> Format.fprintf ppf "import %s.%s" service tyname
+  | Import { service; tyname; _ } -> Format.fprintf ppf "import %s.%s" service tyname
   | Def d ->
       Format.fprintf ppf "def %s(%s)" d.decl_name (String.concat ", " d.params);
       List.iter (fun (p, ty) -> Format.fprintf ppf " %s: %a" p Ty.pp ty) d.param_types

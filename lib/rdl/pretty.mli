@@ -1,0 +1,25 @@
+(** Pretty printer producing concrete RDL syntax that re-parses to the same
+    AST modulo source-line annotations: for every rolefile [rf],
+    [Ast.strip_lines (Parser.parse (to_string rf)) =
+     Ast.strip_lines rf] (round-trip property tested in [test/test_rdl.ml]
+    and, over generated ASTs and every in-repo rolefile, in
+    [test/test_analyze.ml]). *)
+
+val pp_arg : Format.formatter -> Ast.arg -> unit
+val pp_args : Format.formatter -> Ast.arg list -> unit
+(** Parenthesised, comma-separated; prints nothing for [[]]. *)
+
+val pp_role_ref : Format.formatter -> Ast.role_ref -> unit
+val string_of_relop : Ast.relop -> string
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_constr : Format.formatter -> Ast.constr -> unit
+(** Minimal parenthesisation: [or] < [and] < [not]/atoms. *)
+
+val pp_entry : Format.formatter -> Ast.entry -> unit
+val pp_item : Format.formatter -> Ast.item -> unit
+val pp_rolefile : Format.formatter -> Ast.rolefile -> unit
+
+val to_string : Ast.rolefile -> string
+val entry_to_string : Ast.entry -> string
+val constr_to_string : Ast.constr -> string

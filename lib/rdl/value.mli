@@ -20,6 +20,11 @@ val compare : t -> t -> int
 val set_of_chars : string -> t
 (** Normalise (sort, dedup) an arbitrary character string into a [Set]. *)
 
+val normalise_set : string -> string
+(** The normalised (sorted, deduplicated) element string itself — what
+    [set_of_chars] wraps.  Lets alphabet consumers ({!Ty.Set}) share the
+    normalisation without matching on the [Set] constructor. *)
+
 val set_subset : t -> t -> bool
 (** [set_subset a b] when both are sets and every element of [a] is in [b].
     Raises [Invalid_argument] on non-set values. *)

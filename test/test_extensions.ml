@@ -357,6 +357,7 @@ let entry_gen =
           elect_starred = (match elector with Some _ -> starred | None -> false);
           revoker = None;
           constr = None;
+          entry_line = 0;
         })
       (pair ident_gen (list_size (int_range 0 3) rdl_arg_gen))
       (list_size (int_range 0 3) role_ref_gen)
@@ -376,7 +377,7 @@ let prop_rdl_entry_roundtrip =
       match Oasis_rdl.Parser.parse_result src with
       | Error _ -> false
       | Ok rf -> (
-          match Oasis_rdl.Ast.entries rf with
+          match Oasis_rdl.Ast.entries (Oasis_rdl.Ast.strip_lines rf) with
           | [ parsed; _ ] -> parsed = entry
           | _ -> false))
 
