@@ -1434,12 +1434,116 @@ Lonely(u) <- Y(u) : u in nowhere and not (u in nowhere)|});
   row "       per-entry; the federation fixpoint converges along the chain).\n"
 
 (* ------------------------------------------------------------------ *)
+(* E19 — scenario model checking: exhaustive fault-interleaving           *)
+(* exploration of the paper scenarios, DPOR+fingerprint reduction ratio   *)
+(* vs naive enumeration, and the planted bug seed sweeps cannot reach.    *)
+(* Snapshot: BENCH_e19_<depth>.json                                       *)
+(* ------------------------------------------------------------------ *)
+
+let e19 () =
+  let module Explore = Oasis_mc.Explore in
+  let module Scenarios = Oasis_mc.Scenarios in
+  header "E19: scenario model checking — exhaustive exploration and reduction";
+  let params depth ~reduce = { Explore.default_params with depth; max_runs = 200_000; reduce } in
+  (* (a) Exhaustive exploration of both paper scenarios across depths. *)
+  let depths =
+    match Sys.getenv_opt "OASIS_E19_DEPTHS" with
+    | Some s -> List.filter_map int_of_string_opt (String.split_on_char ',' s)
+    | None -> [ 8; 10; 12 ]
+  in
+  row "%12s %8s %10s %12s %10s %12s %12s\n" "scenario" "depth" "runs" "decisions" "states"
+    "pruned" "wall (ms)";
+  let scenario_rows =
+    List.concat_map
+      (fun depth ->
+        List.map
+          (fun spec ->
+            let t0 = Sys.time () in
+            let rp = Explore.explore spec (params depth ~reduce:true) in
+            let dt = (Sys.time () -. t0) *. 1000.0 in
+            if not rp.Explore.rp_exhaustive then
+              failwith
+                (Printf.sprintf "e19: %s depth %d not exhaustive within budget"
+                   spec.Oasis_mc.Scenario.sc_name depth);
+            if rp.Explore.rp_violations <> [] then
+              failwith
+                (Printf.sprintf "e19: %s depth %d violated an invariant"
+                   spec.Oasis_mc.Scenario.sc_name depth);
+            row "%12s %8d %10d %12d %10d %12d %12.1f\n" spec.Oasis_mc.Scenario.sc_name depth
+              rp.Explore.rp_runs rp.Explore.rp_decisions rp.Explore.rp_distinct_states
+              (rp.Explore.rp_pruned_sleep + rp.Explore.rp_pruned_fp)
+              dt;
+            (spec.Oasis_mc.Scenario.sc_name, depth, rp, dt))
+          [ Scenarios.golf_club; Scenarios.mssa ])
+      depths
+  in
+  (* (b) Reduction ratio at a depth where naive enumeration still completes. *)
+  let ratio_depth =
+    match Sys.getenv_opt "OASIS_E19_RATIO_DEPTH" with
+    | Some s -> int_of_string s
+    | None -> 10
+  in
+  let t0 = Sys.time () in
+  let naive = Explore.explore Scenarios.golf_club (params ratio_depth ~reduce:false) in
+  let naive_ms = (Sys.time () -. t0) *. 1000.0 in
+  let t0 = Sys.time () in
+  let reduced = Explore.explore Scenarios.golf_club (params ratio_depth ~reduce:true) in
+  let reduced_ms = (Sys.time () -. t0) *. 1000.0 in
+  let ratio = float_of_int naive.Explore.rp_runs /. float_of_int reduced.Explore.rp_runs in
+  row "reduction @ depth %d: naive %d runs (%.0f ms) vs reduced %d runs (%.0f ms) = %.1fx\n"
+    ratio_depth naive.Explore.rp_runs naive_ms reduced.Explore.rp_runs reduced_ms ratio;
+  if ratio < 5.0 then failwith (Printf.sprintf "e19: reduction ratio %.1fx below 5x" ratio);
+  (* (c) The planted bug: invisible to a 50-seed sweep, found exhaustively,
+     counterexample minimized. *)
+  let p = params 8 ~reduce:true in
+  let sweep = Explore.seed_sweep Scenarios.planted p ~seeds:50 in
+  if sweep <> [] then failwith "e19: seed sweep unexpectedly found the planted bug";
+  let rp = Explore.explore Scenarios.planted p in
+  (match rp.Explore.rp_violations with
+  | [] -> failwith "e19: exhaustive exploration missed the planted bug"
+  | cx :: _ ->
+      let m = Explore.minimize Scenarios.planted p cx in
+      row "planted bug: 0/50 seeds hit it; explorer found %d schedule(s), minimized to [%s]\n"
+        (List.length rp.Explore.rp_violations)
+        (String.concat ";" (List.map string_of_int m.Explore.cx_schedule)));
+  List.iter
+    (fun (name, depth, rp, dt) ->
+      if name = "golf-club" then begin
+        let oc = open_out (Printf.sprintf "BENCH_e19_%d.json" depth) in
+        output_string oc
+          (J.to_string
+             (J.Obj
+                [
+                  ("experiment", J.Str "e19");
+                  ("scenario", J.Str name);
+                  ("depth", J.Int depth);
+                  ("runs", J.Int rp.Explore.rp_runs);
+                  ("decisions", J.Int rp.Explore.rp_decisions);
+                  ("distinct_states", J.Int rp.Explore.rp_distinct_states);
+                  ("pruned_sleep", J.Int rp.Explore.rp_pruned_sleep);
+                  ("pruned_fp", J.Int rp.Explore.rp_pruned_fp);
+                  ("wall_ms", J.Float dt);
+                  ("naive_runs_at_ratio_depth", J.Int naive.Explore.rp_runs);
+                  ("reduced_runs_at_ratio_depth", J.Int reduced.Explore.rp_runs);
+                  ("reduction_ratio", J.Float ratio);
+                ]));
+        output_string oc "\n";
+        close_out oc;
+        row "         snapshot written to BENCH_e19_%d.json\n" depth
+      end)
+    scenario_rows;
+  row "shape: the explored state space grows geometrically with depth; sleep sets +\n";
+  row "       fingerprint pruning keep exhaustive coverage >=5x cheaper than naive\n";
+  row "       enumeration, and adversarial orderings catch what 50 seeds cannot.\n"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
     ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11); ("e12", e12);
     ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16); ("e17", e17); ("e18", e18);
+    ("e19", e19);
   ]
 
 let () =

@@ -227,7 +227,7 @@ let rec create_server net host ~name ?(heartbeat = 1.0) ?(ack_every = 4) ?(reten
   let engine = Net.engine net in
   srv.b_hb_timer <-
     Some
-      (Engine.every engine ~period:heartbeat (fun () ->
+      (Engine.every engine ~tag:("t:" ^ Net.host_name host) ~period:heartbeat (fun () ->
            if (not srv.b_stopped) && Net.host_up net host then begin
              List.iter (fun f -> f ()) (List.rev srv.b_on_tick);
              let horizon = Clock.read (Net.host_clock host) -. srv.b_horizon_lag in
@@ -338,10 +338,16 @@ and server_nack srv sid from =
       let seqs = Hashtbl.fold (fun k _ acc -> if k >= from then k :: acc else acc) ss.ss_buffer [] in
       List.iter
         (fun seq ->
-          let d = Hashtbl.find ss.ss_buffer seq in
-          let client = ss.ss_client in
-          Net.send srv.b_net ~category:"evt.resend" ~size:(64 * List.length d.d_items)
-            ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client ss.ss_id d))
+          (* Total even if the buffer entry vanished between the snapshot
+             and this send (an ack pruning it, or adversarial reorderings
+             the model checker drives): a missing delivery is simply no
+             longer resendable — account it, never raise. *)
+          match Hashtbl.find_opt ss.ss_buffer seq with
+          | None -> Oasis_sim.Stats.incr (Net.stats srv.b_net) "evt.resend.gone"
+          | Some d ->
+              let client = ss.ss_client in
+              Net.send srv.b_net ~category:"evt.resend" ~size:(64 * List.length d.d_items)
+                ~src:srv.b_host ~dst:ss.ss_host (fun () -> client_deliver client ss.ss_id d))
         (List.sort Int.compare seqs)
 
 and client_deliver s sid d =
@@ -621,7 +627,10 @@ let connect net host srv ?(credentials = []) ~on_result () =
           let engine = Net.engine net in
           session.s_stale_timer <-
             Some
-              (Engine.every engine ~period:(srv.b_heartbeat /. 2.0) (fun () ->
+              (Engine.every engine
+                 ~tag:("t:" ^ Net.host_name session.s_host)
+                 ~period:(srv.b_heartbeat /. 2.0)
+                 (fun () ->
                    if (not session.s_closed) && Net.host_up net session.s_host then begin
                      let silent = Engine.now engine -. session.s_last_rx in
                      if (not session.s_stale) && silent > 1.5 *. srv.b_heartbeat then begin
@@ -712,3 +721,33 @@ let server_buffered srv =
 let server_retained srv =
   purge_retained srv;
   Queue.length srv.b_retained
+
+(* --- state fingerprint (model checking) --- *)
+
+let fp_key = Oasis_util.Siphash.key_of_string "oasis.broker.fingerprint"
+
+let fingerprint srv =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "%d,%h,%d,%b;" srv.b_seq srv.b_last_stamp srv.b_next_session srv.b_stopped);
+  Queue.iter
+    (fun entry ->
+      Buffer.add_string b (encode_retained entry);
+      Buffer.add_char b '\x1d')
+    srv.b_retained;
+  List.iter
+    (fun ss ->
+      Buffer.add_string b
+        (Printf.sprintf "s%d:%d:%d:%b:" ss.ss_id ss.ss_seq ss.ss_acked ss.ss_live);
+      let seqs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) ss.ss_buffer [] |> List.sort Int.compare
+      in
+      List.iter
+        (fun s ->
+          Buffer.add_string b (string_of_int s);
+          Buffer.add_char b ',')
+        seqs;
+      Buffer.add_string b (string_of_int (List.length ss.ss_pending));
+      Buffer.add_char b ';')
+    (List.sort (fun a c -> Int.compare a.ss_id c.ss_id) srv.b_sessions);
+  Oasis_util.Siphash.hash fp_key (Buffer.contents b)

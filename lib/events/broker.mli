@@ -113,6 +113,12 @@ val shutdown_server : server -> unit
 (** Stop the server: cancels its heartbeat timer (so the simulation can
     drain), drops all sessions and refuses new connections. *)
 
+val fingerprint : server -> int64
+(** Deterministic hash of the broker's protocol-visible state: monotone
+    counters, the retained-event log, and every live session's stream
+    position, unacked resend buffer and coalesce queue.  The model checker
+    folds it into world state hashes for interleaving pruning. *)
+
 (** {1 Client side} *)
 
 val connect :

@@ -1,0 +1,167 @@
+(** Scenario DSL for the model checker: the paper's membership narratives
+    (§3.2.2 club roles, §4.11 fire/re-hire, §5 MSSA) as declarative specs.
+
+    A scenario names its services (rolefiles, durability, groups), its
+    principals, a timed action script and the properties every explored
+    interleaving must satisfy.  {!instantiate} builds a fresh deterministic
+    world; each action becomes a pending engine event tagged [a:<label>],
+    so the explorer ({!Explore}) reorders actions against message
+    deliveries, stable-storage flushes, timers and fault injections. *)
+
+type svc_spec = {
+  ss_name : string;
+  ss_rolefile : string;
+  ss_durable : bool;  (** give the service a simulated disk + WAL *)
+  ss_snapshot_every : int;
+  ss_heartbeat : float;
+  ss_groups : (string * string list) list;  (** initial group memberships *)
+}
+
+val svc :
+  ?durable:bool ->
+  ?snapshot_every:int ->
+  ?heartbeat:float ->
+  ?groups:(string * string list) list ->
+  string ->
+  string ->
+  svc_spec
+(** [svc name rolefile] with defaults: volatile, snapshot every 6 appends,
+    1 s heartbeat, no groups. *)
+
+(** A live instantiated scenario world. *)
+type world = {
+  w_engine : Oasis_sim.Engine.t;
+  w_net : Oasis_sim.Net.t;
+  w_reg : Oasis_core.Service.registry;
+  w_client_host : Oasis_sim.Net.host;
+  w_services : (string * Oasis_core.Service.t) list;
+  mutable w_hosts : (string * Oasis_sim.Net.host) list;
+      (** every named host; custom builders append theirs *)
+  w_principals : (string, principal) Hashtbl.t;
+  w_marks : (string, string) Hashtbl.t;
+      (** action label -> ["ok"] or ["err:..."]; absent = never completed *)
+  w_fired : (string, bool) Hashtbl.t;  (** "Svc.Role(arg)" -> currently fired *)
+  w_box : (string, string) Hashtbl.t;
+      (** free-form blackboard for custom scenarios (observations made by
+          harness clients, read back by custom invariants); folded into the
+          fingerprint *)
+  mutable w_brokers : (string * Oasis_events.Broker.server) list;
+      (** standalone broker servers a custom builder installed, by name;
+          actions look them up, fingerprints fold them in *)
+  mutable w_violations : (string * string) list;
+      (** (invariant, detail), newest first *)
+  mutable w_extra_fp : (unit -> int64) list;
+      (** extra state hashes folded into {!fingerprint} (custom builders
+          register their brokers/clients here) *)
+}
+
+and principal = {
+  p_name : string;
+  p_vci : Oasis_core.Principal.vci;
+  mutable p_login : Oasis_core.Cert.rmc option;
+  mutable p_certs : (string * Oasis_core.Cert.rmc) list;
+      (** "Svc.Role" -> certificates, newest first *)
+}
+
+type action =
+  | Issue of { service : string; who : string }
+      (** authentication service issues LoggedOn(who, "ely") *)
+  | Enter of { who : string; service : string; role : string }
+  | Fire of { by : string; service : string; role : string; arg : string }
+  | Rehire of { by : string; service : string; role : string; arg : string }
+  | Logoff of { service : string; who : string }
+  | Crash of { host : string }  (** host name, or a service name's host *)
+  | Restart of { host : string }
+  | Partition of { a : string; b : string }
+  | Heal of { a : string; b : string }
+  | Act of (world -> unit)  (** escape hatch for bespoke steps *)
+
+type timed = { at : float; label : string; act : action }
+
+val step : at:float -> string -> action -> timed
+
+type outcome = Valid | Revoked | Absent
+
+val outcome_str : outcome -> string
+
+type invariant =
+  | No_reentry_without_rehire
+      (** §4.11 safety: an [Enter] that commits while its instance is fired
+          (and not re-hired) is a violation.  Checked online in the entry
+          callback. *)
+  | Fired_stays_fired
+      (** at the horizon, every fired instance is still blacklisted and all
+          its certificates are dead — including across crash recovery *)
+  | Converges
+      (** at the horizon, the {!t.sc_expect} table holds *)
+  | Crash_equiv
+      (** the final outcome table equals the crash-free twin run's, whenever
+          the same set of actions committed in both *)
+  | Custom_safety of string * (world -> (unit, string) result)
+      (** checked at every decision point *)
+  | Custom_final of string * (world -> (unit, string) result)
+
+val invariant_name : invariant -> string
+
+type t = {
+  sc_name : string;
+  sc_services : svc_spec list;
+  sc_principals : string list;
+  sc_actions : timed list;
+  sc_expect : done_:(string -> bool) -> (string * string * outcome) list;
+      (** expected (principal, "Svc.Role", outcome) rows, conditional on
+          which actions completed with ["ok"] *)
+  sc_invariants : invariant list;
+  sc_horizon : float;  (** virtual time at which final invariants are judged *)
+  sc_window : float * float;
+      (** the branching band: decision points are only counted while the
+          earliest pending deadline lies inside it *)
+  sc_latency : Oasis_sim.Net.latency;
+  sc_seed : int64;
+  sc_custom : (world -> unit) option;
+      (** run once at instantiation, before actions are scheduled *)
+}
+
+(** {1 Instantiation and execution} *)
+
+val instantiate : ?seed:int64 -> t -> world
+(** Build the world (services, principals, scheduled actions).  [seed]
+    overrides [sc_seed] (the seed-sweep baseline varies it). *)
+
+val perform : world -> timed -> unit
+
+val strip_faults : t -> t
+(** The crash-free twin: the same scenario without crash / restart /
+    partition / heal actions. *)
+
+val fault_labels : t -> string list
+
+(** {1 State and judgement} *)
+
+val fingerprint : world -> int64
+(** Deterministic hash of everything protocol-visible: service and broker
+    fingerprints, marks, fired flags, host liveness, link state, the pending
+    event multiset (deadline + tag, not insertion order) and custom extra
+    hashes.  Equal fingerprints identify equal continuations; the explorer
+    prunes on it. *)
+
+val mark_done : world -> string -> bool
+val violate : world -> string -> string -> unit
+val fired : world -> string -> bool
+val instance_key : string -> string -> string -> string
+
+val check_safety : world -> t -> unit
+(** Evaluate [Custom_safety] invariants now (side-effect-free on the
+    simulation; violations accumulate in [w_violations]). *)
+
+type twin = { tw_marks : (string * string) list; tw_outcomes : (string * string * string) list }
+
+val commit_marks : world -> t -> (string * string) list
+val final_outcome_table : world -> t -> (string * string * string) list
+
+val outcomes : world -> t -> (string * string * outcome * outcome) list
+(** Expected vs found, per expectation row: (principal, key, expected,
+    found). *)
+
+val check_final : ?twin:twin -> world -> t -> unit
+(** Evaluate the final invariants at the horizon. *)

@@ -1,0 +1,244 @@
+(* The built-in scenarios: the paper's two membership narratives as
+   explorable specs, plus a deliberately planted protocol bug that only an
+   adversarial schedule can reach.
+
+   Times are chosen so that setup (issues and entries) completes well before
+   the branching window opens, and actions after the window are strictly
+   ordered (each completes, at simulated RTTs, before the next fires) — so
+   the conditional expectations stay decidable from the completion marks
+   alone. *)
+
+module Net = Oasis_sim.Net
+module Broker = Oasis_events.Broker
+module Event = Oasis_events.Event
+module V = Oasis_rdl.Value
+open Scenario
+
+let login_rolefile = {|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|}
+
+(* --- the golf club (§3.2.2, §4.11) --- *)
+
+(* Members enter on the Secretary's say-so (their LoggedOn credential plus
+   the staff list); the Chair can fire a member ([|>*] role-based
+   revocation, which blacklists the instance) and later re-hire them.  The
+   club's state is durable; its host crashes just after a firing, while the
+   revocation cascade, WAL group commit and broker deliveries are all still
+   in flight.  Every interleaving must preserve: no re-entry while fired,
+   fired-stays-fired across the recovery, convergence to the expected
+   memberships, and equality with the crash-free twin run. *)
+
+let club_rolefile =
+  {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair : u in staff
+|}
+
+let golf_club =
+  {
+    sc_name = "golf-club";
+    sc_services =
+      [
+        svc "Login" login_rolefile;
+        svc "Club" club_rolefile ~durable:true ~groups:[ ("staff", [ "alice"; "bob" ]) ];
+      ];
+    sc_principals = [ "jmb"; "alice"; "bob" ];
+    sc_actions =
+      [
+        step ~at:0.10 "issue-jmb" (Issue { service = "Login"; who = "jmb" });
+        step ~at:0.12 "issue-alice" (Issue { service = "Login"; who = "alice" });
+        step ~at:0.14 "issue-bob" (Issue { service = "Login"; who = "bob" });
+        step ~at:0.30 "enter-chair" (Enter { who = "jmb"; service = "Club"; role = "Chair" });
+        step ~at:0.60 "enter-alice" (Enter { who = "alice"; service = "Club"; role = "Member" });
+        step ~at:0.80 "enter-bob" (Enter { who = "bob"; service = "Club"; role = "Member" });
+        step ~at:2.00 "fire-alice"
+          (Fire { by = "jmb"; service = "Club"; role = "Member"; arg = "alice" });
+        step ~at:2.06 "crash-club" (Crash { host = "h.Club" });
+        step ~at:2.40 "restart-club" (Restart { host = "h.Club" });
+        step ~at:3.50 "reenter-alice" (Enter { who = "alice"; service = "Club"; role = "Member" });
+        step ~at:4.20 "fire-bob"
+          (Fire { by = "jmb"; service = "Club"; role = "Member"; arg = "bob" });
+        step ~at:4.60 "rehire-bob"
+          (Rehire { by = "jmb"; service = "Club"; role = "Member"; arg = "bob" });
+        step ~at:5.00 "reenter-bob" (Enter { who = "bob"; service = "Club"; role = "Member" });
+      ];
+    sc_expect =
+      (fun ~done_ ->
+        [
+          ("jmb", "Club.Chair", if done_ "enter-chair" then Valid else Absent);
+          ( "alice",
+            "Club.Member",
+            (* reenter-alice only commits when the firing never did *)
+            if done_ "reenter-alice" then Valid
+            else if done_ "fire-alice" then Revoked
+            else if done_ "enter-alice" then Valid
+            else Absent );
+          ( "bob",
+            "Club.Member",
+            if done_ "reenter-bob" then Valid
+            else if done_ "fire-bob" then Revoked
+            else if done_ "enter-bob" then Valid
+            else Absent );
+        ]);
+    sc_invariants = [ No_reentry_without_rehire; Fired_stays_fired; Converges; Crash_equiv ];
+    sc_horizon = 7.0;
+    sc_window = (1.95, 2.55);
+    sc_latency = Net.Fixed 0.005;
+    sc_seed = 11L;
+    sc_custom = None;
+  }
+
+(* --- the MSSA ward (§5) --- *)
+
+(* The hospital flavour: an admissions service authenticates staff, the
+   records service grants Doctor to authenticated staff on the wards list,
+   and a custos can strike a doctor off (fire).  The fault here is a
+   network partition between the two services — opened just as a doctor
+   logs off, so the revocation cascade is trapped behind it — healed
+   shortly after.  Every interleaving must converge within the heartbeat
+   bound after the heal, and the §4.11 discipline must hold for the
+   struck-off doctor. *)
+
+let records_rolefile =
+  {|
+Custos <- Admin.LoggedOn("custos", h)
+Doctor(u) <- Admin.LoggedOn(u, h)* |>* Custos : u in doctors
+|}
+
+let mssa =
+  {
+    sc_name = "mssa";
+    sc_services =
+      [
+        svc "Admin" login_rolefile;
+        svc "Records" records_rolefile ~groups:[ ("doctors", [ "day"; "night" ]) ];
+      ];
+    sc_principals = [ "custos"; "day"; "night" ];
+    sc_actions =
+      [
+        step ~at:0.10 "issue-custos" (Issue { service = "Admin"; who = "custos" });
+        step ~at:0.12 "issue-day" (Issue { service = "Admin"; who = "day" });
+        step ~at:0.14 "issue-night" (Issue { service = "Admin"; who = "night" });
+        step ~at:0.30 "enter-custos" (Enter { who = "custos"; service = "Records"; role = "Custos" });
+        step ~at:0.60 "enter-day" (Enter { who = "day"; service = "Records"; role = "Doctor" });
+        step ~at:0.80 "enter-night" (Enter { who = "night"; service = "Records"; role = "Doctor" });
+        step ~at:2.00 "partition" (Partition { a = "h.Admin"; b = "h.Records" });
+        step ~at:2.05 "logoff-day" (Logoff { service = "Admin"; who = "day" });
+        step ~at:2.10 "fire-night"
+          (Fire { by = "custos"; service = "Records"; role = "Doctor"; arg = "night" });
+        step ~at:2.60 "heal" (Heal { a = "h.Admin"; b = "h.Records" });
+        step ~at:3.80 "reenter-night"
+          (Enter { who = "night"; service = "Records"; role = "Doctor" });
+      ];
+    sc_expect =
+      (fun ~done_ ->
+        [
+          ("custos", "Records.Custos", if done_ "enter-custos" then Valid else Absent);
+          ( "day",
+            "Records.Doctor",
+            if done_ "logoff-day" then Revoked
+            else if done_ "enter-day" then Valid
+            else Absent );
+          ( "night",
+            "Records.Doctor",
+            if done_ "reenter-night" then Valid
+            else if done_ "fire-night" then Revoked
+            else if done_ "enter-night" then Valid
+            else Absent );
+        ]);
+    sc_invariants = [ No_reentry_without_rehire; Fired_stays_fired; Converges ];
+    sc_horizon = 6.5;
+    sc_window = (1.95, 2.7);
+    sc_latency = Net.Fixed 0.005;
+    sc_seed = 23L;
+    sc_custom = None;
+  }
+
+(* --- the planted bug: a door that forgets to look back --- *)
+
+(* A badge broker signals [Revoked(u)]; an access-control door caches badge
+   validity in its (simulated) NVRAM.  The door's client code has a real,
+   deliberately planted protocol bug: after its host restarts it reconnects
+   and re-registers {e live-only} — it does not pass [~since] its last safe
+   horizon, so anything signalled in the gap is silently lost even though
+   the broker retained it.
+
+   The gap is unreachable by seed sweeps: the revocation is signalled at
+   t=2.0 with delivery latency in [5 ms, 20 ms), and the door crashes at
+   t=2.05 — under default scheduling the delivery always lands first, for
+   every seed.  Only an adversarial schedule that pulls the crash (or the
+   restart-side registration) ahead of the delivery exposes the loss. *)
+
+let planted =
+  {
+    sc_name = "planted";
+    sc_services = [];
+    sc_principals = [];
+    sc_actions =
+      [
+        step ~at:2.00 "revoke-alice"
+          (Act (fun w -> ignore (Broker.signal (List.assoc "badges" w.w_brokers) "Revoked" [ V.Str "alice" ])));
+        step ~at:2.05 "crash-door" (Crash { host = "h.door" });
+        step ~at:2.35 "restart-door" (Restart { host = "h.door" });
+      ];
+    sc_expect = (fun ~done_:_ -> []);
+    sc_invariants =
+      [
+        Custom_final
+          ( "lost-revocation",
+            fun w ->
+              if Hashtbl.find_opt w.w_box "badge.alice" = Some "revoked" then Ok ()
+              else
+                Error
+                  "alice's badge revocation never reached the door: it was signalled \
+                   and retained, but the door re-registered live-only after its crash" );
+      ];
+    sc_horizon = 5.0;
+    sc_window = (1.97, 2.45);
+    sc_latency = Net.Uniform (0.005, 0.02);
+    sc_seed = 5L;
+    sc_custom =
+      Some
+        (fun w ->
+          let net = w.w_net in
+          let gate_host = Net.add_host net "h.gate" in
+          let door_host = Net.add_host net "h.door" in
+          w.w_hosts <- ("h.gate", gate_host) :: ("h.door", door_host) :: w.w_hosts;
+          let srv = Broker.create_server net gate_host ~name:"badges" () in
+          w.w_brokers <- ("badges", srv) :: w.w_brokers;
+          Hashtbl.replace w.w_box "badge.alice" "valid";
+          let session = ref None in
+          (* Track the session so the crash hook can drop it; the buggy
+             restart path below reconnects without ~since. *)
+          let connect_tracking ~since =
+            Broker.connect net door_host srv
+              ~on_result:(fun r ->
+                match r with
+                | Error _ -> ()
+                | Ok s ->
+                    session := Some s;
+                    Hashtbl.replace w.w_box "door.session" "up";
+                    ignore
+                      (Broker.register s ?since
+                         (Event.template "Revoked" [ Event.Any ])
+                         (fun ev ->
+                           match ev.Event.params.(0) with
+                           | V.Str u -> Hashtbl.replace w.w_box ("badge." ^ u) "revoked"
+                           | _ -> ())))
+              ()
+          in
+          connect_tracking ~since:None;
+          Net.on_crash net door_host (fun () ->
+              (match !session with Some s -> Broker.close s | None -> ());
+              session := None;
+              Hashtbl.replace w.w_box "door.session" "down");
+          Net.on_restart net door_host (fun () ->
+              (* THE PLANTED BUG: should be ~since:(last safe horizon). *)
+              connect_tracking ~since:None));
+  }
+
+let all = [ golf_club; mssa; planted ]
+
+let find name = List.find_opt (fun s -> s.sc_name = name) all

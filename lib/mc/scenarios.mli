@@ -1,0 +1,20 @@
+(** The built-in scenarios.
+
+    - [golf_club] — the §3.2.2/§4.11 membership narrative: durable club
+      service, Chair fires a member, host crashes mid-cascade, member must
+      stay fired across recovery and re-enter only after re-hire.
+    - [mssa] — the §5 hospital flavour: a partition between the admissions
+      and records services traps a logoff's revocation cascade; the world
+      must converge within the heartbeat bound of the heal, and a
+      struck-off doctor stays struck off.
+    - [planted] — a deliberately planted client bug (live-only
+      re-registration after a crash, no [~since]) whose triggering
+      ordering lies outside the latency envelope, so seed sweeps cannot
+      reach it and exhaustive exploration must. *)
+
+val golf_club : Scenario.t
+val mssa : Scenario.t
+val planted : Scenario.t
+
+val all : Scenario.t list
+val find : string -> Scenario.t option

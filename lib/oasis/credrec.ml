@@ -577,6 +577,46 @@ let self_check t =
     Ok ()
   with Bad m -> fail "%s" m
 
+let fp_key = Oasis_util.Siphash.key_of_string "oasis.credrec.fingerprint"
+
+let fingerprint t =
+  let b = Buffer.create 1024 in
+  let add_int n =
+    Buffer.add_string b (string_of_int n);
+    Buffer.add_char b ','
+  in
+  for i = 0 to t.high_water - 1 do
+    let slot = t.slots.(i) in
+    if slot.used then begin
+      add_int i;
+      add_int slot.magic;
+      Buffer.add_char b (if slot.is_leaf then 'l' else 'c');
+      Buffer.add_char b (match slot.op with And -> '&' | Or -> '|' | Nand -> '^' | Nor -> '!');
+      Buffer.add_char b (match slot.st with True -> 'T' | False -> 'F' | Unknown -> 'U');
+      Buffer.add_char b (if slot.permanent then 'P' else '-');
+      Buffer.add_char b (if slot.direct_use then 'D' else '-');
+      add_int slot.n_parents;
+      add_int slot.p_true;
+      add_int slot.p_false;
+      add_int slot.p_unknown;
+      add_int slot.ph_true;
+      add_int slot.ph_false;
+      (* Forward edges in edge-id order: edge ids are allocated by a
+         deterministic counter, so equal histories render equal bytes. *)
+      let edges = Hashtbl.fold (fun eid e acc -> (eid, e) :: acc) slot.children [] in
+      let edges = List.sort (fun (a, _) (c, _) -> Int.compare a c) edges in
+      List.iter
+        (fun (eid, (child, negated)) ->
+          add_int eid;
+          add_int child.index;
+          add_int child.magic;
+          Buffer.add_char b (if negated then '~' else '.'))
+        edges;
+      Buffer.add_char b ';'
+    end
+  done;
+  Oasis_util.Siphash.hash fp_key (Buffer.contents b)
+
 let marshal_ref r = Printf.sprintf "%x.%x" r.index r.magic
 
 let unmarshal_ref s =

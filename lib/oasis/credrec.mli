@@ -122,6 +122,13 @@ val edge_ops : table -> int
     visit).  Lets tests assert asymptotic behaviour — e.g. that detaching n
     children from a 10k-child parent costs O(n) edge work, not O(n²). *)
 
+val fingerprint : table -> int64
+(** Deterministic SipHash over every live record — identity, operator,
+    state, permanence, counters and (edge-id ordered) adjacency.  Equal
+    table histories hash equally across processes and replays; the model
+    checker folds it into per-service state hashes to prune explored
+    interleavings. *)
+
 val self_check : table -> (unit, string) result
 (** Structural audit: edge/back-index symmetry, no dangling edges, counter
     sums and per-state recounts, and state consistency with counters for

@@ -299,6 +299,13 @@ let persist_fire t key =
 let persist_hire t key =
   match t.sv_durable with Some du -> persist_line t du (rec_hire key) | None -> ()
 
+(* Fire/re-hire acks must not outrun the WAL: if the service crashed in the
+   group-commit window after replying Ok, recovery would resurrect a
+   membership the revoker was told is gone.  So success replies ride the
+   next fsync; a crash that loses the record also swallows the ack. *)
+let ack_when_durable t k =
+  match t.sv_durable with None -> k () | Some du -> Wal.sync du.du_wal k
+
 (* Only records backing issued certificates are logged: an invalidation of
    anything else either cascades from a logged fact at recovery or is
    reconstructed conservatively (dangling -> False). *)
@@ -1585,7 +1592,7 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
                 Hashtbl.replace t.sv_blacklist key ();
                 persist_fire t key;
                 audit t Revocation (Printf.sprintf "%s(%s) blacklisted" role "");
-                reply (Ok 0)
+                ack_when_durable t (fun () -> reply (Ok 0))
               end
               else reply (Error "no revocation right for this role")
           | Some cell ->
@@ -1602,7 +1609,7 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
                 audit t Revocation
                   (Printf.sprintf "%d membership(s) of %s revoked by role" (List.length eligible)
                      role);
-                reply (Ok (List.length eligible))
+                ack_when_durable t (fun () -> reply (Ok (List.length eligible)))
               end))
 
 let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
@@ -1625,7 +1632,7 @@ let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
           else begin
             Hashtbl.remove t.sv_blacklist (blacklist_key role args);
             persist_hire t (blacklist_key role args);
-            reply (Ok ())
+            ack_when_durable t (fun () -> reply (Ok ()))
           end)
 
 (* --- interworking (§4.12) --- *)
@@ -1771,9 +1778,17 @@ let recover t =
                  in
                  List.iter
                    (fun (key, cref) ->
-                     let i = Hashtbl.find du.du_issued key in
-                     if not i.i_alive then Credrec.invalidate t.sv_table cref
-                     else begin
+                     match Hashtbl.find_opt du.du_issued key with
+                     | None ->
+                         (* The mirror lost this record between the restore
+                            scan and re-attachment (a crash racing the
+                            delayed recovery closure can do this).  Fail
+                            safe — the orphaned slot reads False — and
+                            audit instead of raising out of the engine. *)
+                         audit t Erroneous ("recovery: issued record vanished: " ^ key);
+                         Credrec.invalidate t.sv_table cref
+                     | Some i when not i.i_alive -> Credrec.invalidate t.sv_table cref
+                     | Some i -> begin
                        List.iter
                          (fun dep ->
                            match dep with
@@ -1855,3 +1870,34 @@ let durable_flush t =
   match t.sv_durable with None -> () | Some du -> Wal.flush du.du_wal
 
 let blacklisted t ~role ~args = Hashtbl.mem t.sv_blacklist (blacklist_key role args)
+
+(* --- state fingerprint (model checking) --- *)
+
+let fp_key = Oasis_util.Siphash.key_of_string "oasis.service.fingerprint"
+
+let fingerprint t =
+  let b = Buffer.create 512 in
+  let add_sorted xs =
+    List.iter
+      (fun x ->
+        Buffer.add_string b x;
+        Buffer.add_char b '\x02')
+      (List.sort String.compare xs)
+  in
+  Buffer.add_string b (Int64.to_string (Credrec.fingerprint t.sv_table));
+  Buffer.add_char b '\x03';
+  add_sorted
+    (Hashtbl.fold (fun (r, a) () acc -> (r ^ "\x01" ^ a) :: acc) t.sv_blacklist []);
+  Buffer.add_char b '\x03';
+  add_sorted (Hashtbl.fold (fun k v acc -> (k ^ "=" ^ v) :: acc) t.sv_pending_mods []);
+  Buffer.add_char b '\x03';
+  (match t.sv_durable with
+  | None -> ()
+  | Some du ->
+      add_sorted
+        (Hashtbl.fold
+           (fun k i acc -> (k ^ if i.i_alive then "+" else "-") :: acc)
+           du.du_issued []);
+      Buffer.add_char b '\x03';
+      Buffer.add_string b (Int64.to_string (Disk.fingerprint du.du_disk)));
+  Oasis_util.Siphash.hash fp_key (Buffer.contents b)

@@ -287,3 +287,11 @@ val recover : t -> unit
 (** The restart hook: replay snapshot + log and re-materialise issued
     state.  Registered automatically on host restart when [disk] was
     given; exposed for tests driving recovery directly. *)
+
+val fingerprint : t -> int64
+(** Deterministic hash of the service's protocol-visible state: the
+    credential-record table ({!Credrec.fingerprint}), the §4.11 blacklist,
+    the pending invalidation digest, and — when durable — the issued
+    mirror and the stable-storage device bytes.  Equal fingerprints mean
+    two runs reached equivalent service states; the model checker
+    ({!Oasis_mc.Explore}) prunes interleavings on it. *)

@@ -1,20 +1,28 @@
-type timer = { mutable alive : bool; mutable action : unit -> unit }
+type timer = { mutable alive : bool; mutable action : unit -> unit; tag : string }
 
-type t = { mutable now : float; queue : timer Oasis_util.Pqueue.t }
+type event = { ev_at : float; ev_seq : int; ev_tag : string }
 
-let create () = { now = 0.0; queue = Oasis_util.Pqueue.create () }
+type scheduler = event list -> int option
+
+type t = {
+  mutable now : float;
+  queue : timer Oasis_util.Pqueue.t;
+  mutable scheduler : scheduler option;
+}
+
+let create () = { now = 0.0; queue = Oasis_util.Pqueue.create (); scheduler = None }
 
 let now t = t.now
 
-let schedule_at t ~at action =
+let schedule_at t ?(tag = "") ~at action =
   let at = if at < t.now then t.now else at in
-  Oasis_util.Pqueue.push t.queue at { alive = true; action }
+  Oasis_util.Pqueue.push t.queue at { alive = true; action; tag }
 
-let schedule t ~delay action = schedule_at t ~at:(t.now +. delay) action
+let schedule t ?tag ~delay action = schedule_at t ?tag ~at:(t.now +. delay) action
 
-let timer t ~delay action =
+let timer t ?(tag = "") ~delay action =
   let at = t.now +. max 0.0 delay in
-  let tm = { alive = true; action } in
+  let tm = { alive = true; action; tag } in
   Oasis_util.Pqueue.push t.queue at tm;
   tm
 
@@ -24,11 +32,11 @@ let cancel tm =
 
 let cancelled tm = not tm.alive
 
-let every t ~period ?jitter action =
+let every t ?tag ~period ?jitter action =
   if period <= 0.0 then invalid_arg "Engine.every: period must be positive";
   (* The handle returned to the caller is distinct from the queued one-shot
      timers: cancelling it suppresses all future firings. *)
-  let handle = { alive = true; action = (fun () -> ()) } in
+  let handle = { alive = true; action = (fun () -> ()); tag = "" } in
   let rec arm () =
     let extra = match jitter with Some j -> j () | None -> 0.0 in
     (* A pathological jitter ([extra <= -period]) must not re-arm at the
@@ -36,7 +44,7 @@ let every t ~period ?jitter action =
        forever, and [run ~until] would never terminate.  The effective
        delay is clamped to a positive floor instead. *)
     let delay = Float.max (0.001 *. period) (period +. extra) in
-    schedule t ~delay (fun () ->
+    schedule t ?tag ~delay (fun () ->
         if handle.alive then begin
           action ();
           if handle.alive then arm ()
@@ -45,13 +53,35 @@ let every t ~period ?jitter action =
   arm ();
   handle
 
+let events t =
+  List.filter_map
+    (fun (at, seq, tm) ->
+      if tm.alive then Some { ev_at = at; ev_seq = seq; ev_tag = tm.tag } else None)
+    (Oasis_util.Pqueue.entries t.queue)
+
+let set_scheduler t s = t.scheduler <- s
+
+let exec t at tm =
+  t.now <- max t.now at;
+  if tm.alive then tm.action ();
+  true
+
+let default_step t =
+  match Oasis_util.Pqueue.pop t.queue with None -> false | Some (at, tm) -> exec t at tm
+
 let step t =
-  match Oasis_util.Pqueue.pop t.queue with
-  | None -> false
-  | Some (at, tm) ->
-      t.now <- max t.now at;
-      if tm.alive then tm.action ();
-      true
+  match t.scheduler with
+  | None -> default_step t
+  | Some pick -> (
+      match events t with
+      | [] -> default_step t (* only cancelled timers left: drain them *)
+      | evs -> (
+          match pick evs with
+          | None -> default_step t
+          | Some seq -> (
+              match Oasis_util.Pqueue.remove_seq t.queue seq with
+              | Some (at, tm) -> exec t at tm
+              | None -> default_step t (* stale choice; fall back to earliest *))))
 
 let run ?until t =
   let continue = ref true in
@@ -63,7 +93,10 @@ let run ?until t =
     | Some (at, _) -> (
         match until with
         | Some u when at > u ->
-            t.now <- u;
+            (* With a scheduler installed, [now] may already have run ahead
+               of [until] (the scheduler executes events out of earliest-
+               first order); never move time backwards. *)
+            t.now <- max t.now u;
             continue := false
         | _ -> ignore (step t))
   done

@@ -2,7 +2,14 @@
 
     The paper evaluated OASIS on a live testbed; we substitute a deterministic
     simulator (see DESIGN.md, Substitutions).  Virtual time is a float in
-    seconds.  All services, networks and workloads schedule closures here. *)
+    seconds.  All services, networks and workloads schedule closures here.
+
+    Every scheduling entry point accepts an optional [tag] — a short string
+    classifying the pending event ([d:<host>] message delivery, [t:<host>]
+    timer, [s:<host>] stable-storage flush, [f:] fault injection, [a:<name>]
+    scenario action).  Tags cost nothing in normal runs; the model checker
+    ({!Oasis_mc.Explore}) reads them to decide which pending events commute
+    and to label counterexample schedules. *)
 
 type t
 
@@ -11,30 +18,55 @@ val create : unit -> t
 val now : t -> float
 (** Current virtual time. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
+val schedule : t -> ?tag:string -> delay:float -> (unit -> unit) -> unit
 (** Run the closure [delay] seconds from now.  Negative delays are clamped to
     zero (fire this instant, after currently-queued same-time events). *)
 
-val schedule_at : t -> at:float -> (unit -> unit) -> unit
+val schedule_at : t -> ?tag:string -> at:float -> (unit -> unit) -> unit
 
 type timer
 (** A cancellable scheduled action. *)
 
-val timer : t -> delay:float -> (unit -> unit) -> timer
+val timer : t -> ?tag:string -> delay:float -> (unit -> unit) -> timer
 val cancel : timer -> unit
 val cancelled : timer -> bool
 
-val every : t -> period:float -> ?jitter:(unit -> float) -> (unit -> unit) -> timer
+val every :
+  t -> ?tag:string -> period:float -> ?jitter:(unit -> float) -> (unit -> unit) -> timer
 (** Periodic action; cancelling the returned timer stops the series.  If
     [jitter] is given, its value is added to each period; the effective
     delay is clamped to a positive floor ([period / 1000]) so a pathological
     jitter cannot re-arm the timer at the same instant forever. *)
 
 val step : t -> bool
-(** Execute the next pending event; [false] if the queue is empty. *)
+(** Execute the next pending event; [false] if the queue is empty.  With a
+    scheduler installed (see {!set_scheduler}), the scheduler picks which
+    pending event runs instead of the earliest-deadline default. *)
 
 val run : ?until:float -> t -> unit
 (** Drain the event queue, or stop once the next event lies beyond [until]
-    (advancing [now] to [until] in that case). *)
+    (advancing [now] to [until] in that case; [now] is never moved
+    backwards). *)
 
 val pending : t -> int
+
+(** {1 Single-step scheduling (model checking)} *)
+
+type event = { ev_at : float; ev_seq : int; ev_tag : string }
+(** A live pending entry: its deadline, its queue-lifetime-unique insertion
+    sequence (stable across deterministic replays of the same prefix) and
+    its tag. *)
+
+type scheduler = event list -> int option
+(** Consulted by {!step} with the live pending events in earliest-first
+    order; returns the [ev_seq] to execute next, or [None] for the default
+    (earliest) choice.  Executing an event whose deadline lies beyond the
+    earliest one advances virtual time to that deadline; earlier events then
+    run late, at the advanced clock — this is exactly the adversarial
+    reordering the model checker explores. *)
+
+val events : t -> event list
+(** The live (non-cancelled) pending events, earliest first. *)
+
+val set_scheduler : t -> scheduler option -> unit
+(** Install or remove the single-step scheduler hook. *)

@@ -117,17 +117,19 @@ let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
       if Fault.up t.fault dst.addr then Trace.with_ctx t.trace ctx action
       else Stats.incr t.stats (category ^ ".dead")
     in
-    if src.addr = dst.addr then Engine.schedule t.engine ~delay:0.0 deliver
+    if src.addr = dst.addr then
+      Engine.schedule t.engine ~tag:("d:" ^ dst.name) ~delay:0.0 deliver
     else if partitioned t src dst || not (Fault.link_ok t.fault src.addr dst.addr) then
       Stats.incr t.stats (category ^ ".partitioned")
     else if t.loss > 0.0 && Prng.float t.prng 1.0 < t.loss then
       Stats.incr t.stats (category ^ ".lost")
-    else Engine.schedule t.engine ~delay:(sample_latency t src dst) deliver
+    else
+      Engine.schedule t.engine ~tag:("d:" ^ dst.name) ~delay:(sample_latency t src dst) deliver
 
 let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
   let done_ = ref false in
   let ctx = Trace.current t.trace in
-  Engine.schedule t.engine ~delay:timeout (fun () ->
+  Engine.schedule t.engine ~tag:("t:" ^ src.name) ~delay:timeout (fun () ->
       if not !done_ then begin
         done_ := true;
         Stats.incr t.stats (category ^ ".timeout");
@@ -160,7 +162,7 @@ let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(bac
              decorrelate retry storms. *)
           let base = Float.min max_backoff (backoff *. (2.0 ** float_of_int n)) in
           let jitter = Prng.uniform_in t.prng ~lo:0.0 ~hi:(base *. 0.25) in
-          Engine.schedule t.engine ~delay:(base +. jitter) (fun () ->
+          Engine.schedule t.engine ~tag:("t:" ^ src.name) ~delay:(base +. jitter) (fun () ->
               Trace.with_ctx t.trace ctx (fun () -> go (n + 1)))
       | Error "timeout" ->
           Stats.incr t.stats (category ^ ".giveup");

@@ -81,7 +81,7 @@ let fsync t ~file:name k =
     let pending = target - f.synced in
     let epoch = t.d_epoch in
     let delay = flush_delay t pending in
-    Engine.schedule (Net.engine t.d_net) ~delay (fun () ->
+    Engine.schedule (Net.engine t.d_net) ~tag:("s:" ^ Net.host_name t.d_host) ~delay (fun () ->
         if epoch = t.d_epoch && Net.host_up t.d_net t.d_host then begin
           if target > f.synced then f.synced <- target;
           Stats.incr (stats t) "store.fsync";
@@ -97,7 +97,7 @@ let write_atomic t ~file:name data k =
     let baseline = Buffer.length f.data in
     let delay = flush_delay t (String.length data) in
     Stats.observe (stats t) "store.write" (String.length data);
-    Engine.schedule (Net.engine t.d_net) ~delay (fun () ->
+    Engine.schedule (Net.engine t.d_net) ~tag:("s:" ^ Net.host_name t.d_host) ~delay (fun () ->
         if epoch = t.d_epoch && Net.host_up t.d_net t.d_host then begin
           (* The rename lands: everything that existed at the call is
              replaced in one step.  Bytes appended while the write was in
@@ -136,3 +136,19 @@ let unsynced t ~file:name =
 let scan_delay t ~bytes = t.d_fsync_latency +. (float_of_int bytes /. t.d_read_bw)
 
 let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.d_files [] |> List.sort String.compare
+
+let fp_key = Oasis_util.Siphash.key_of_string "oasis.disk.fingerprint"
+
+let fingerprint t =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      let f = file t name in
+      Buffer.add_string b name;
+      Buffer.add_char b '\x00';
+      Buffer.add_string b (string_of_int f.synced);
+      Buffer.add_char b '\x00';
+      Buffer.add_buffer b f.data;
+      Buffer.add_char b '\x01')
+    (files t);
+  Oasis_util.Siphash.hash fp_key (Buffer.contents b)

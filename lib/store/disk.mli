@@ -72,3 +72,10 @@ val scan_delay : t -> bytes:int -> float
 (** Time a recovery scan of [bytes] takes on this device. *)
 
 val files : t -> string list
+
+val fingerprint : t -> int64
+(** SipHash over every file's name, durable length and full byte contents
+    (durable prefix plus unsynced buffer).  Two devices with the same
+    fingerprint hold the same bytes in the same commit state; the model
+    checker folds it into a service's state hash for interleaving
+    pruning. *)

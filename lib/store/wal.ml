@@ -116,6 +116,7 @@ let append t ?on_durable payload =
     t.w_armed <- true;
     Engine.schedule
       (Net.engine (Disk.net t.w_disk))
+      ~tag:("s:" ^ Net.host_name (Disk.host t.w_disk))
       ~delay:t.w_interval
       (fun () ->
         t.w_armed <- false;

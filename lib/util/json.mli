@@ -1,11 +1,13 @@
-(** Minimal JSON emission (no external dependency in the image).
+(** Minimal JSON emission and parsing (no external dependency in the image).
 
     The simulator exports metrics ({!Oasis_sim.Stats}), traces
     ({!Oasis_sim.Trace}) and bench snapshots as JSON.  Each of those used to
     carry its own hand-rolled escaper; this module is the single shared
     emitter, so string escaping has exactly one implementation.
 
-    Emission only — the repository never parses JSON. *)
+    Parsing exists for exactly one consumer: the model checker's replayable
+    counterexample schedules ([oasis_cli explore --replay]).  It is a small
+    strict recursive-descent parser over the same {!t}. *)
 
 type t =
   | Null
@@ -31,3 +33,23 @@ val to_string : t -> string
 val raw_to_buffer : Buffer.t -> string -> unit
 (** Append a pre-rendered JSON fragment verbatim.  For emitters that build
     large documents incrementally around already-serialised parts. *)
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document (strict: no trailing bytes, no
+    comments).  Numbers without fraction or exponent parse as [Int]; all
+    others as [Float].  Errors carry a byte offset. *)
+
+(** {1 Typed accessors}
+
+    Total helpers for walking parsed documents; each returns [None] on a
+    shape mismatch rather than raising. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int] (promoted). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -64,3 +64,50 @@ let to_list q =
   let entries = Array.sub q.heap 0 q.size in
   Array.sort (fun a b -> if before a b then -1 else if before b a then 1 else 0) entries;
   Array.to_list (Array.map (fun e -> (e.prio, e.value)) entries)
+
+let entries q =
+  let entries = Array.sub q.heap 0 q.size in
+  Array.sort (fun a b -> if before a b then -1 else if before b a then 1 else 0) entries;
+  Array.to_list (Array.map (fun e -> (e.prio, e.seq, e.value)) entries)
+
+(* Restore the heap property around slot [i] after an arbitrary replacement:
+   sift up if the new entry beats its parent, otherwise sift down. *)
+let repair q i =
+  let i = ref i in
+  while !i > 0 && before q.heap.(!i) q.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = q.heap.(!i) in
+    q.heap.(!i) <- q.heap.(p);
+    q.heap.(p) <- tmp;
+    i := p
+  done;
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < q.size && before q.heap.(l) q.heap.(!smallest) then smallest := l;
+    if r < q.size && before q.heap.(r) q.heap.(!smallest) then smallest := r;
+    if !smallest = !i then continue := false
+    else begin
+      let tmp = q.heap.(!i) in
+      q.heap.(!i) <- q.heap.(!smallest);
+      q.heap.(!smallest) <- tmp;
+      i := !smallest
+    end
+  done
+
+let remove_seq q seq =
+  let found = ref (-1) in
+  for i = 0 to q.size - 1 do
+    if !found < 0 && q.heap.(i).seq = seq then found := i
+  done;
+  if !found < 0 then None
+  else begin
+    let e = q.heap.(!found) in
+    q.size <- q.size - 1;
+    if !found < q.size then begin
+      q.heap.(!found) <- q.heap.(q.size);
+      repair q !found
+    end;
+    Some (e.prio, e.value)
+  end

@@ -19,3 +19,15 @@ val peek : 'a t -> (float * 'a) option
 
 val to_list : 'a t -> (float * 'a) list
 (** Non-destructive snapshot in pop order (O(n log n)). *)
+
+val entries : 'a t -> (float * int * 'a) list
+(** Like {!to_list} but exposing each entry's insertion sequence number.
+    Sequence numbers are unique for the lifetime of the queue, so they
+    identify a queued entry stably across {!to_list} snapshots — the model
+    checker uses them to name pending simulator events. *)
+
+val remove_seq : 'a t -> int -> (float * 'a) option
+(** Remove and return the entry with the given insertion sequence, or
+    [None] when no such entry is queued.  O(n) scan plus O(log n) repair;
+    only the model checker's single-step scheduler uses it, on the small
+    queues of bounded scenarios. *)

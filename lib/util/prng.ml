@@ -1,10 +1,12 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; mutable draws : int }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
+let create seed = { state = seed; draws = 0 }
 
-let copy g = { state = g.state }
+let copy g = { state = g.state; draws = g.draws }
+
+let draws g = g.draws
 
 let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
@@ -13,11 +15,12 @@ let mix64 z =
 
 let bits64 g =
   g.state <- Int64.add g.state golden_gamma;
+  g.draws <- g.draws + 1;
   mix64 g.state
 
 let split g =
   let seed = bits64 g in
-  { state = mix64 seed }
+  { state = mix64 seed; draws = 0 }
 
 let int g bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";

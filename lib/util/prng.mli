@@ -18,6 +18,13 @@ val split : t -> t
 val bits64 : t -> int64
 (** Next raw 64 bits. *)
 
+val draws : t -> int
+(** Number of raw 64-bit words drawn since {!create} (or since {!split}
+    returned this generator).  The model checker compares the counter
+    around an event's execution to learn whether the event touched the
+    shared stream — such events cannot commute with other drawing events,
+    since reordering them would permute the stream. *)
+
 val int : t -> int -> int
 (** [int g bound] is uniform in [\[0, bound)]. Raises [Invalid_argument] if
     [bound <= 0]. *)

@@ -1,0 +1,154 @@
+(* The scenario model checker (§3.2.2, §4.11): exhaustive small-scope
+   exploration of fault interleavings, its reductions, and the planted bug
+   that seed sweeps cannot reach.
+
+   Everything here is deterministic — the explorer re-executes the whole
+   scenario per schedule, so a failing schedule is its own reproduction. *)
+
+module Explore = Oasis_mc.Explore
+module Scenarios = Oasis_mc.Scenarios
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let quick_params depth = { Explore.default_params with depth; max_runs = 50_000 }
+
+(* dune runtest runs us in test/; `dune exec test/test_mc.exe` from the
+   root.  Accept either. *)
+let schedule_path name = if Sys.file_exists "schedules" then "schedules/" ^ name else "test/schedules/" ^ name
+
+(* --- the paper scenarios hold over every interleaving --- *)
+
+let test_golf_club_exhaustive () =
+  let rp = Explore.explore Scenarios.golf_club (quick_params 10) in
+  checkb "exhaustive within budget" true rp.Explore.rp_exhaustive;
+  checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 100);
+  checki "no violations" 0 (List.length rp.Explore.rp_violations)
+
+let test_mssa_exhaustive () =
+  let rp = Explore.explore Scenarios.mssa (quick_params 12) in
+  checkb "exhaustive within budget" true rp.Explore.rp_exhaustive;
+  checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 50);
+  checki "no violations" 0 (List.length rp.Explore.rp_violations)
+
+(* --- soundness of the reductions: sleep sets + fingerprints must not
+   change the verdict, only the work --- *)
+
+let test_reduction_sound_on_clean_scenario () =
+  let p = { (quick_params 6) with max_runs = 100_000 } in
+  let naive = Explore.explore Scenarios.golf_club { p with reduce = false } in
+  let reduced = Explore.explore Scenarios.golf_club p in
+  checkb "naive exhaustive" true naive.Explore.rp_exhaustive;
+  checkb "reduced exhaustive" true reduced.Explore.rp_exhaustive;
+  checki "naive finds nothing" 0 (List.length naive.Explore.rp_violations);
+  checki "reduced finds nothing" 0 (List.length reduced.Explore.rp_violations);
+  checkb "reduction strictly cheaper" true (reduced.Explore.rp_runs < naive.Explore.rp_runs)
+
+let test_reduction_sound_on_buggy_scenario () =
+  let p = quick_params 6 in
+  let naive = Explore.explore Scenarios.planted { p with reduce = false } in
+  let reduced = Explore.explore Scenarios.planted p in
+  checkb "naive finds the bug" true (naive.Explore.rp_violations <> []);
+  checkb "reduced still finds the bug" true (reduced.Explore.rp_violations <> []);
+  let inv cx = cx.Explore.cx_invariant in
+  checkb "same invariant violated" true
+    (List.map inv naive.Explore.rp_violations = List.map inv naive.Explore.rp_violations
+    && inv (List.hd reduced.Explore.rp_violations) = inv (List.hd naive.Explore.rp_violations))
+
+(* --- the planted bug: invisible to seed sweeps, found exhaustively --- *)
+
+let test_planted_bug_beyond_seed_sweeps () =
+  let p = quick_params 8 in
+  (* The conventional baseline: 50 different network seeds under default
+     scheduling.  The violating ordering is outside the latency envelope,
+     so every seed delivers the revocation before the crash. *)
+  let sweep = Explore.seed_sweep Scenarios.planted p ~seeds:50 in
+  checki "50-seed sweep finds nothing" 0 (List.length sweep);
+  let rp = Explore.explore Scenarios.planted p in
+  checkb "exhaustive exploration finds it" true (rp.Explore.rp_violations <> []);
+  let cx = List.hd rp.Explore.rp_violations in
+  Alcotest.(check string) "the planted invariant" "lost-revocation" cx.Explore.cx_invariant;
+  (* Minimization keeps the violation and the minimized schedule replays to
+     the same verdict. *)
+  let m = Explore.minimize Scenarios.planted p cx in
+  checkb "minimized no longer than original" true
+    (List.length m.Explore.cx_schedule <= List.length cx.Explore.cx_schedule);
+  let r = Explore.run_schedule Scenarios.planted p m.Explore.cx_schedule in
+  checkb "minimized schedule still violates" true
+    (List.exists (fun (i, _) -> i = "lost-revocation") r.Explore.r_violations)
+
+(* --- persisted regression schedules --- *)
+
+let test_regression_planted_replay () =
+  match Explore.load_schedule (schedule_path "planted_lost_revocation.json") with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok sf -> (
+      match Scenarios.find sf.Explore.sf_scenario with
+      | None -> Alcotest.failf "unknown scenario %s" sf.Explore.sf_scenario
+      | Some spec ->
+          let r = Explore.replay spec sf in
+          checkb "replayed schedule still violates lost-revocation" true
+            (List.exists (fun (i, _) -> i = "lost-revocation") r.Explore.r_violations))
+
+let test_regression_golf_club_ack_durable () =
+  (* The adversarial ordering that once lost an acknowledged firing across a
+     crash (fire ack outran the WAL group commit).  Fixed by deferring the
+     ack until the record is durable; the schedule must stay clean. *)
+  match Explore.load_schedule (schedule_path "golf_club_ack_durable.json") with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok sf -> (
+      match Scenarios.find sf.Explore.sf_scenario with
+      | None -> Alcotest.failf "unknown scenario %s" sf.Explore.sf_scenario
+      | Some spec ->
+          let r = Explore.replay spec sf in
+          checki "no violations on the fixed code" 0 (List.length r.Explore.r_violations))
+
+(* --- schedule files round-trip --- *)
+
+let test_schedule_roundtrip () =
+  let sf =
+    {
+      Explore.sf_scenario = "golf-club";
+      sf_invariant = "converges";
+      sf_detail = "detail text";
+      sf_choices = [ 0; 2; 1 ];
+      sf_depth = 9;
+      sf_window = 0.125;
+      sf_max_branch = 4;
+      sf_seed = 77L;
+    }
+  in
+  match Explore.schedule_of_json (Explore.schedule_to_json sf) with
+  | Error e -> Alcotest.failf "roundtrip: %s" e
+  | Ok sf' -> checkb "roundtrip preserves everything" true (sf = sf')
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "scenarios",
+        [
+          Alcotest.test_case "golf club holds over every interleaving" `Quick
+            test_golf_club_exhaustive;
+          Alcotest.test_case "mssa holds over every interleaving" `Quick test_mssa_exhaustive;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "sound on a clean scenario" `Quick
+            test_reduction_sound_on_clean_scenario;
+          Alcotest.test_case "sound on a buggy scenario" `Quick
+            test_reduction_sound_on_buggy_scenario;
+        ] );
+      ( "planted-bug",
+        [
+          Alcotest.test_case "found exhaustively, missed by 50 seeds" `Quick
+            test_planted_bug_beyond_seed_sweeps;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "planted counterexample still fails" `Quick
+            test_regression_planted_replay;
+          Alcotest.test_case "golf-club ack-durable schedule stays clean" `Quick
+            test_regression_golf_club_ack_durable;
+          Alcotest.test_case "schedule files round-trip" `Quick test_schedule_roundtrip;
+        ] );
+    ]
