@@ -506,6 +506,205 @@ let explore_cmd =
       const run $ scenario_arg $ list_flag $ depth $ window $ max_branch $ max_runs $ naive
       $ seeds $ json $ out $ replay)
 
+(* --- shard subcommand --- *)
+
+let shard_cmd =
+  let module Shard = Oasis_core.Shard in
+  let module V = Oasis_rdl.Value in
+  let shards =
+    Arg.(value & opt int 4 & info [ "shards" ] ~docv:"N" ~doc:"Number of shards in the ring")
+  in
+  let vnodes =
+    Arg.(
+      value & opt int 64
+      & info [ "vnodes" ] ~docv:"V" ~doc:"Virtual nodes per shard (placement granularity)")
+  in
+  let keys =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"INSTANCE"
+          ~doc:
+            "Role instances to place, as $(b,Role) or $(b,Role(arg,...)); arguments are \
+             treated as strings.  With no instances, a synthetic population is placed \
+             instead.")
+  in
+  let population =
+    Arg.(
+      value & opt int 10_000
+      & info [ "population" ] ~docv:"K"
+          ~doc:"Synthetic population size for the balance/movement report")
+  in
+  let moved =
+    Arg.(
+      value & flag
+      & info [ "moved" ]
+          ~doc:"Also report how much of the population moves when one shard is added")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON") in
+  (* "Member(alice,pc5)" -> ("Member", [Str "alice"; Str "pc5"]). *)
+  let parse_instance s =
+    match String.index_opt s '(' with
+    | None -> Ok (s, [])
+    | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+        let role = String.sub s 0 i in
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        let args =
+          if inner = "" then []
+          else
+            String.split_on_char ',' inner |> List.map String.trim
+            |> List.map (fun a -> V.Str a)
+        in
+        if role = "" then Error (Printf.sprintf "%S: empty role name" s) else Ok (role, args)
+    | Some _ -> Error (Printf.sprintf "%S: unbalanced parentheses" s)
+  in
+  let run shards vnodes keys population moved json =
+    if shards < 1 then begin
+      Printf.eprintf "error: --shards must be >= 1\n";
+      1
+    end
+    else begin
+      let ring = Shard.Ring.make ~vnodes ~shards () in
+      let place role args = Shard.Ring.owner ring (Shard.route_key ~role ~args) in
+      match keys with
+      | _ :: _ -> (
+          (* Explicit instances: print each one's owner. *)
+          let rec collect acc = function
+            | [] -> Ok (List.rev acc)
+            | k :: rest -> (
+                match parse_instance k with
+                | Error e -> Error e
+                | Ok inst -> collect (inst :: acc) rest)
+          in
+          match collect [] keys with
+          | Error e ->
+              Printf.eprintf "error: %s\n" e;
+              1
+          | Ok instances ->
+              let placed =
+                List.map (fun (role, args) -> (role, args, place role args)) instances
+              in
+              if json then
+                let module Json = Oasis_util.Json in
+                print_endline
+                  (Json.to_string
+                     (Json.sorted
+                        (Json.Obj
+                           [
+                             ("shards", Json.Int shards);
+                             ("vnodes", Json.Int vnodes);
+                             ( "placements",
+                               Json.Arr
+                                 (List.map
+                                    (fun (role, args, owner) ->
+                                      Json.Obj
+                                        [
+                                          ("role", Json.Str role);
+                                          ( "args",
+                                            Json.Arr
+                                              (List.map
+                                                 (function
+                                                   | V.Str s -> Json.Str s
+                                                   | v -> Json.Str (V.to_string v))
+                                                 args) );
+                                          ("owner", Json.Int owner);
+                                        ])
+                                    placed) );
+                           ])))
+              else
+                List.iter
+                  (fun (role, args, owner) ->
+                    Printf.printf "%s(%s) -> shard %d\n" role
+                      (String.concat ", "
+                         (List.map (function V.Str s -> s | v -> V.to_string v) args))
+                      owner)
+                  placed;
+              0)
+      | [] ->
+          (* Synthetic population: balance, and optionally movement when the
+             ring grows by one shard. *)
+          let counts = Array.make shards 0 in
+          for i = 0 to population - 1 do
+            let owner = place "Member" [ V.Str (Printf.sprintf "u%d" i) ] in
+            counts.(owner) <- counts.(owner) + 1
+          done;
+          let ideal = float_of_int population /. float_of_int shards in
+          let worst = Array.fold_left max 0 counts in
+          let moved_count =
+            if not moved then None
+            else begin
+              let grown = Shard.Ring.add_shard ring in
+              let n = ref 0 in
+              for i = 0 to population - 1 do
+                let key =
+                  Shard.route_key ~role:"Member" ~args:[ V.Str (Printf.sprintf "u%d" i) ]
+                in
+                if Shard.Ring.owner ring key <> Shard.Ring.owner grown key then incr n
+              done;
+              Some !n
+            end
+          in
+          if json then
+            let module Json = Oasis_util.Json in
+            print_endline
+              (Json.to_string
+                 (Json.sorted
+                    (Json.Obj
+                       ([
+                          ("shards", Json.Int shards);
+                          ("vnodes", Json.Int vnodes);
+                          ("population", Json.Int population);
+                          ( "counts",
+                            Json.Arr (Array.to_list (Array.map (fun c -> Json.Int c) counts))
+                          );
+                          ("worst_over_ideal", Json.Float (float_of_int worst /. ideal));
+                        ]
+                       @
+                       match moved_count with
+                       | None -> []
+                       | Some n ->
+                           [
+                             ("moved_on_add", Json.Int n);
+                             ( "moved_fraction",
+                               Json.Float (float_of_int n /. float_of_int population) );
+                           ]))))
+          else begin
+            Printf.printf "%d shard(s), %d vnode(s) each, %d synthetic instance(s)\n" shards
+              vnodes population;
+            Array.iteri
+              (fun i c ->
+                Printf.printf "  shard %2d: %6d (%.2fx ideal)\n" i c (float_of_int c /. ideal))
+              counts;
+            Printf.printf "worst shard holds %.2fx its ideal share\n"
+              (float_of_int worst /. ideal);
+            match moved_count with
+            | None -> ()
+            | Some n ->
+                Printf.printf
+                  "adding shard %d moves %d instance(s) (%.1f%%; consistent-hash bound ~%.1f%%)\n"
+                  shards n
+                  (100.0 *. float_of_int n /. float_of_int population)
+                  (100.0 /. float_of_int (shards + 1))
+          end;
+          0
+    end
+  in
+  let doc = "Inspect consistent-hash placement of the sharded credential plane" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Builds the same SipHash consistent-hash ring the sharded deployment \
+         ($(b,Oasis_core.Shard)) uses and reports where role instances land.  With \
+         explicit $(b,Role(arg,...)) operands it prints each instance's owning shard; \
+         with none it places a synthetic population and reports per-shard balance, and \
+         with $(b,--moved) also how many instances change owner when one shard is added \
+         (the consistent-hashing guarantee: about 1/(N+1) of the keyspace, not a full \
+         reshuffle).";
+    ]
+  in
+  Cmd.v (Cmd.info "shard" ~doc ~man)
+    Term.(const run $ shards $ vnodes $ keys $ population $ moved $ json)
+
 (* --- demo subcommand --- *)
 
 let demo_cmd =
@@ -570,4 +769,14 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ rdl_cmd; lint_cmd; composite_cmd; acl_cmd; erdl_cmd; idl_cmd; explore_cmd; demo_cmd ]))
+          [
+            rdl_cmd;
+            lint_cmd;
+            composite_cmd;
+            acl_cmd;
+            erdl_cmd;
+            idl_cmd;
+            explore_cmd;
+            shard_cmd;
+            demo_cmd;
+          ]))

@@ -53,7 +53,7 @@ type world = {
   w_net : Net.t;
   w_reg : Service.registry;
   w_client_host : Net.host;
-  w_services : (string * Service.t) list;
+  mutable w_services : (string * Service.t) list;
   mutable w_hosts : (string * Net.host) list;
   w_principals : (string, principal) Hashtbl.t;
   w_marks : (string, string) Hashtbl.t;
@@ -74,6 +74,7 @@ and principal = {
 type action =
   | Issue of { service : string; who : string }
   | Enter of { who : string; service : string; role : string }
+  | Enter_with of { who : string; service : string; role : string; use : string list }
   | Fire of { by : string; service : string; role : string; arg : string }
   | Rehire of { by : string; service : string; role : string; arg : string }
   | Logoff of { service : string; who : string }
@@ -167,6 +168,29 @@ let revoker_cert p service =
 
 (* --- performing actions --- *)
 
+(* Shared entry body: request entry at [service] presenting the login
+   credential plus the listed ["Svc.Role"] certificates from the
+   principal's wallet (missing keys are simply not presented — under an
+   adversarial ordering the earlier entry may never have completed). *)
+let do_enter w label ~who ~service ~role ~use =
+  let p = principal w who in
+  let svc = find_service w service in
+  let login = match p.p_login with Some c -> [ c ] | None -> [] in
+  let picked = List.filter_map (fun key -> List.assoc_opt key p.p_certs) use in
+  Service.request_entry svc ~client_host:w.w_client_host ~client:p.p_vci ~role
+    ~creds:(login @ picked)
+    (function
+      | Ok cert ->
+          (* Safety, checked online: an entry that commits while the
+             instance is fired is exactly the §4.11 violation. *)
+          if fired w (instance_key service role who) then
+            violate w "no-reentry-without-rehire"
+              (Printf.sprintf "%s re-entered %s.%s while fired (action %s)" who service role
+                 label);
+          p.p_certs <- (service ^ "." ^ role, cert) :: p.p_certs;
+          mark w label "ok"
+      | Error e -> mark w label ("err:" ^ e))
+
 let perform w { label; act; _ } =
   match act with
   | Issue { service; who } ->
@@ -177,22 +201,8 @@ let perform w { label; act; _ } =
       in
       p.p_login <- Some cert;
       mark w label "ok"
-  | Enter { who; service; role } ->
-      let p = principal w who in
-      let svc = find_service w service in
-      let creds = match p.p_login with Some c -> [ c ] | None -> [] in
-      Service.request_entry svc ~client_host:w.w_client_host ~client:p.p_vci ~role ~creds
-        (function
-          | Ok cert ->
-              (* Safety, checked online: an entry that commits while the
-                 instance is fired is exactly the §4.11 violation. *)
-              if fired w (instance_key service role who) then
-                violate w "no-reentry-without-rehire"
-                  (Printf.sprintf "%s re-entered %s.%s while fired (action %s)" who service role
-                     label);
-              p.p_certs <- (service ^ "." ^ role, cert) :: p.p_certs;
-              mark w label "ok"
-          | Error e -> mark w label ("err:" ^ e))
+  | Enter { who; service; role } -> do_enter w label ~who ~service ~role ~use:[]
+  | Enter_with { who; service; role; use } -> do_enter w label ~who ~service ~role ~use
   | Fire { by; service; role; arg } -> (
       let p = principal w by in
       let svc = find_service w service in

@@ -34,7 +34,10 @@ type world = {
   w_net : Oasis_sim.Net.t;
   w_reg : Oasis_core.Service.registry;
   w_client_host : Oasis_sim.Net.host;
-  w_services : (string * Oasis_core.Service.t) list;
+  mutable w_services : (string * Oasis_core.Service.t) list;
+      (** every judged service; custom builders (e.g. a sharded
+          deployment) append theirs so outcomes, invariants and the
+          fingerprint cover them *)
   mutable w_hosts : (string * Oasis_sim.Net.host) list;
       (** every named host; custom builders append theirs *)
   w_principals : (string, principal) Hashtbl.t;
@@ -67,6 +70,12 @@ type action =
   | Issue of { service : string; who : string }
       (** authentication service issues LoggedOn(who, "ely") *)
   | Enter of { who : string; service : string; role : string }
+  | Enter_with of { who : string; service : string; role : string; use : string list }
+      (** like [Enter], additionally presenting the principal's newest
+          certificate for each ["Svc.Role"] key in [use] — entries whose
+          prerequisite roles live at another service (or another shard)
+          need those credentials in the request; keys the wallet does not
+          hold yet are silently not presented *)
   | Fire of { by : string; service : string; role : string; arg : string }
   | Rehire of { by : string; service : string; role : string; arg : string }
   | Logoff of { service : string; who : string }

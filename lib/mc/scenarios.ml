@@ -11,6 +11,8 @@
 module Net = Oasis_sim.Net
 module Broker = Oasis_events.Broker
 module Event = Oasis_events.Event
+module Service = Oasis_core.Service
+module Shard = Oasis_core.Shard
 module V = Oasis_rdl.Value
 open Scenario
 
@@ -239,6 +241,92 @@ let planted =
               connect_tracking ~since:None));
   }
 
-let all = [ golf_club; mssa; planted ]
+(* --- a firing that crosses a shard boundary (§4.9.1, §4.10, §4.11) --- *)
+
+(* The club again, but instance-sharded: two durable shard services behind
+   a router (built by [Shard.create] in [sc_custom]; actions address the
+   shards directly, so record placement is explicit rather than
+   ring-derived).  Alice's Member lives on shard 0, her Editor — derived
+   from the Member credential across the shard boundary, so shard 1 holds
+   an external surrogate of shard 0's member record — on shard 1.  The
+   Chair fires the Member; while the revocation cascade, the cross-shard
+   ModifiedBatch digest, the WAL group commit and the ack are all in
+   flight, the owning shard crashes.  Every interleaving must preserve the
+   §4.11 discipline on both shards, converge after recovery (the §4.10
+   reread heals the surrogate), and match the crash-free twin. *)
+
+let sharded_club_rolefile =
+  {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair : u in staff
+Editor(u) <- Member(u)* |>* Chair
+|}
+
+let cross_shard_fire =
+  {
+    sc_name = "cross-shard-fire";
+    sc_services = [ svc "Login" login_rolefile ];
+    sc_principals = [ "jmb"; "alice" ];
+    sc_actions =
+      [
+        step ~at:0.10 "issue-jmb" (Issue { service = "Login"; who = "jmb" });
+        step ~at:0.12 "issue-alice" (Issue { service = "Login"; who = "alice" });
+        step ~at:0.30 "enter-chair" (Enter { who = "jmb"; service = "Club#0"; role = "Chair" });
+        step ~at:0.60 "enter-member" (Enter { who = "alice"; service = "Club#0"; role = "Member" });
+        step ~at:0.90 "enter-editor"
+          (Enter_with
+             { who = "alice"; service = "Club#1"; role = "Editor"; use = [ "Club#0.Member" ] });
+        step ~at:2.00 "fire-alice"
+          (Fire { by = "jmb"; service = "Club#0"; role = "Member"; arg = "alice" });
+        step ~at:2.06 "crash-s0" (Crash { host = "h.Club.s0" });
+        step ~at:2.40 "restart-s0" (Restart { host = "h.Club.s0" });
+        step ~at:3.50 "reenter-member"
+          (Enter { who = "alice"; service = "Club#0"; role = "Member" });
+      ];
+    sc_expect =
+      (fun ~done_ ->
+        [
+          ("jmb", "Club#0.Chair", if done_ "enter-chair" then Valid else Absent);
+          ( "alice",
+            "Club#0.Member",
+            (* reenter-member only commits when the firing never did *)
+            if done_ "reenter-member" then Valid
+            else if done_ "fire-alice" then Revoked
+            else if done_ "enter-member" then Valid
+            else Absent );
+          ( "alice",
+            "Club#1.Editor",
+            (* the shard-1 Editor stands or falls with the shard-0 firing *)
+            if done_ "enter-editor" then (if done_ "fire-alice" then Revoked else Valid)
+            else Absent );
+        ]);
+    sc_invariants = [ No_reentry_without_rehire; Fired_stays_fired; Converges; Crash_equiv ];
+    sc_horizon = 7.0;
+    sc_window = (1.95, 2.55);
+    sc_latency = Net.Fixed 0.005;
+    sc_seed = 31L;
+    sc_custom =
+      Some
+        (fun w ->
+          match
+            Shard.create w.w_net w.w_reg ~name:"Club" ~rolefile:sharded_club_rolefile ~shards:2
+              ~durable:true ~snapshot_every:6
+              ~groups:[ ("staff", [ "alice" ]) ]
+              ()
+          with
+          | Error e -> invalid_arg ("cross-shard-fire: " ^ e)
+          | Ok sh ->
+              let shard_list = Array.to_list (Shard.shards sh) in
+              w.w_services <-
+                w.w_services @ List.map (fun s -> (Service.name s, s)) shard_list;
+              w.w_hosts <-
+                w.w_hosts
+                @ (("h.Club.router", Shard.router_host sh)
+                  :: List.mapi
+                       (fun i s -> (Printf.sprintf "h.Club.s%d" i, Service.host s))
+                       shard_list));
+  }
+
+let all = [ golf_club; mssa; planted; cross_shard_fire ]
 
 let find name = List.find_opt (fun s -> s.sc_name = name) all

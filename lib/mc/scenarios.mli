@@ -10,11 +10,19 @@
     - [planted] — a deliberately planted client bug (live-only
       re-registration after a crash, no [~since]) whose triggering
       ordering lies outside the latency envelope, so seed sweeps cannot
-      reach it and exhaustive exploration must. *)
+      reach it and exhaustive exploration must.
+    - [cross_shard_fire] — the club instance-sharded across two durable
+      shard services ({!Oasis_core.Shard}): alice's Editor on shard 1 is
+      derived from her Member on shard 0, the Chair fires the Member, and
+      the owning shard crashes while the revocation cascade, the
+      cross-shard ModifiedBatch digest, the WAL group commit and the ack
+      are all in flight.  Both shards must keep the §4.11 discipline,
+      converge after recovery, and match the crash-free twin. *)
 
 val golf_club : Scenario.t
 val mssa : Scenario.t
 val planted : Scenario.t
+val cross_shard_fire : Scenario.t
 
 val all : Scenario.t list
 val find : string -> Scenario.t option

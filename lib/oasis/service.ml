@@ -122,6 +122,11 @@ type t = {
   sv_broker : Broker.server;
   sv_peers : (string, peer_link) Hashtbl.t;
   sv_notifying : (string, unit) Hashtbl.t;  (* local refs armed for Modified events *)
+  sv_family : (string, unit) Hashtbl.t;
+      (* sibling shards of the same logical service (see {!Shard}): their
+         names satisfy unqualified rolefile references, their certificates
+         are accepted as revoker credentials after validation at the
+         issuing sibling.  Empty for an unsharded service. *)
   (* role-based revocation state (§4.11) *)
   sv_rbr : (string * string, (Ast.role_ref * Credrec.cref) list ref) Hashtbl.t;
       (* (role, marshalled args) -> revoker role + record, per live membership *)
@@ -151,6 +156,12 @@ let services reg =
 
 let name t = t.sv_name
 let host t = t.sv_host
+
+let add_sibling t n = if not (String.equal n t.sv_name) then Hashtbl.replace t.sv_family n ()
+
+(* A service name that unqualified rolefile references resolve to: the
+   service itself, or any sibling shard of the same logical service. *)
+let in_family t n = String.equal n t.sv_name || Hashtbl.mem t.sv_family n
 let table t = t.sv_table
 let broker t = t.sv_broker
 let rolefile t = t.sv_rolefile
@@ -460,6 +471,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                       ~coalesce:batch_notifications ?disk ();
                   sv_peers = Hashtbl.create 8;
                   sv_notifying = Hashtbl.create 64;
+                  sv_family = Hashtbl.create 4;
                   sv_rbr = Hashtbl.create 16;
                   sv_blacklist = Hashtbl.create 16;
                   sv_audit = [];
@@ -717,47 +729,67 @@ let rec reread_pending t pl peer session =
       end
   | _ -> pl.pl_rereading <- false
 
+(* One connect attempt to a peer's broker.  Failure does not abandon the
+   link: if continuations are still queued (a recovery-time reread, a
+   pending notification registration) the attempt is retried after a peer
+   heartbeat, for as long as this link is still the live one in
+   [sv_peers] — a crash on our side resets the peer table and orphans the
+   loop, which then stops. *)
+let rec connect_peer t pl peer =
+  pl.pl_connecting <- true;
+  Broker.connect t.sv_net t.sv_host (broker peer)
+    ~credentials:[ "service:" ^ t.sv_name ]
+    ~on_result:(fun result ->
+      pl.pl_connecting <- false;
+      match result with
+      | Error _ ->
+          if pl.pl_queued <> [] then
+            Engine.schedule (Net.engine t.sv_net)
+              ~delay:(Broker.server_heartbeat (broker peer))
+              (fun () ->
+                let live =
+                  match Hashtbl.find_opt t.sv_peers pl.pl_peer with
+                  | Some pl' -> pl' == pl
+                  | None -> false
+                in
+                if
+                  live && pl.pl_session = None && (not pl.pl_connecting)
+                  && pl.pl_queued <> []
+                then connect_peer t pl peer)
+      | Ok session ->
+          pl.pl_session <- Some session;
+          (* §4.10: missed heartbeats mark every external record
+             from this peer Unknown; recovery batch-rereads the
+             states over one reliable RPC per link. *)
+          Broker.on_staleness session (fun is_stale ->
+              if is_stale then
+                Hashtbl.iter
+                  (fun _ local_ref ->
+                    Credrec.set_leaf t.sv_table local_ref Credrec.Unknown)
+                  pl.pl_externals
+              else begin
+                Hashtbl.iter
+                  (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
+                  pl.pl_externals;
+                match find_service t.sv_registry pl.pl_peer with
+                | None -> ()
+                | Some peer ->
+                    if not pl.pl_rereading then reread_pending t pl peer session
+              end);
+          let queued = List.rev pl.pl_queued in
+          pl.pl_queued <- [];
+          List.iter (fun k -> k session) queued)
+    ()
+
 let with_peer_session t pl k =
   match pl.pl_session with
   | Some s -> k s
   | None ->
       pl.pl_queued <- k :: pl.pl_queued;
-      if not pl.pl_connecting then begin
-        pl.pl_connecting <- true;
+      if not pl.pl_connecting then (
         match find_service t.sv_registry pl.pl_peer with
         | None -> () (* unknown peer: queued actions never run; externals stay Unknown *)
-        | Some peer ->
-            Broker.connect t.sv_net t.sv_host (broker peer)
-              ~credentials:[ "service:" ^ t.sv_name ]
-              ~on_result:(fun result ->
-                pl.pl_connecting <- false;
-                match result with
-                | Error _ -> ()
-                | Ok session ->
-                    pl.pl_session <- Some session;
-                    (* §4.10: missed heartbeats mark every external record
-                       from this peer Unknown; recovery batch-rereads the
-                       states over one reliable RPC per link. *)
-                    Broker.on_staleness session (fun is_stale ->
-                        if is_stale then
-                          Hashtbl.iter
-                            (fun _ local_ref ->
-                              Credrec.set_leaf t.sv_table local_ref Credrec.Unknown)
-                            pl.pl_externals
-                        else begin
-                          Hashtbl.iter
-                            (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
-                            pl.pl_externals;
-                          match find_service t.sv_registry pl.pl_peer with
-                          | None -> ()
-                          | Some peer ->
-                              if not pl.pl_rereading then reread_pending t pl peer session
-                        end);
-                    let queued = List.rev pl.pl_queued in
-                    pl.pl_queued <- [];
-                    List.iter (fun k -> k session) queued)
-              ()
-      end
+        | Some peer -> connect_peer t pl peer)
 
 let state_of_string = function
   | "true" -> Credrec.True
@@ -976,7 +1008,7 @@ let match_args env ref_args actual =
 let find_credential t env (role_ref : Ast.role_ref) memberships =
   let service_matches m =
     match role_ref.Ast.sref.Ast.service with
-    | None -> String.equal m.m_service t.sv_name
+    | None -> in_family t m.m_service
     | Some svc -> String.equal m.m_service svc
   in
   let rec go = function
@@ -1012,7 +1044,7 @@ let enumerate_matches t memberships creds =
     | (role_ref : Ast.role_ref) :: rest ->
         let service_matches m =
           match role_ref.Ast.sref.Ast.service with
-          | None -> String.equal m.m_service t.sv_name
+          | None -> in_family t m.m_service
           | Some svc -> String.equal m.m_service svc
         in
         List.concat_map
@@ -1564,14 +1596,52 @@ let revoker_matches t (revoker_ref : Ast.role_ref) (cert : Cert.rmc) =
   revoker_ref.Ast.sref.Ast.service = None
   && Cert.has_role ~role_bits:t.sv_role_bits cert revoker_ref.Ast.role
 
+(* Validate a fire/re-hire revoker credential, which may have been issued
+   by a sibling shard of the same logical service (see {!Shard}).  Sibling
+   certificates are checked at their issuer over the reliable validation
+   RPC (§2.10) and mirrored here as external records, so the revocation
+   right is judged against the issuer's own signature and live credential
+   state — never against this shard's table, whose record refs the
+   sibling's (index, magic) pairs would silently alias. *)
+let validate_revoker t (revoker : Cert.rmc) k =
+  if String.equal revoker.Cert.service t.sv_name then
+    match validate t ~client:revoker.Cert.holder revoker with
+    | Error f -> k (Error (Format.asprintf "%a" pp_failure f))
+    | Ok () -> k (Ok ())
+  else if not (Hashtbl.mem t.sv_family revoker.Cert.service) then begin
+    audit t Erroneous
+      ("revoker certificate for " ^ revoker.Cert.service ^ " presented out of context");
+    k (Error (Format.asprintf "%a" pp_failure Wrong_context))
+  end
+  else
+    match find_service t.sv_registry revoker.Cert.service with
+    | None -> k (Error ("unknown sibling shard " ^ revoker.Cert.service))
+    | Some issuer ->
+        Net.rpc_retry t.sv_net ~category:"oasis.validate" ~attempts:3 ~backoff:0.5
+          ~src:t.sv_host ~dst:issuer.sv_host
+          (fun () ->
+            match validate_for_peer issuer revoker with
+            | Ok r -> Ok r
+            | Error f -> Error (Format.asprintf "%a" pp_failure f))
+          (function
+            | Error e -> k (Error e)
+            | Ok (_roles, _args, remote_ref) ->
+                (* Mirror the revoker's record so a later revocation of the
+                   revoker's own role propagates here like any other
+                   external dependency. *)
+                ignore
+                  (external_record t ~peer_name:revoker.Cert.service ~remote_ref
+                     ~initial:Credrec.True);
+                k (Ok ()))
+
 let revoke_role_instance t ~client_host ~revoker ~role ~args k =
   Net.send t.sv_net ~category:"oasis.rbr" ~size:128 ~src:client_host ~dst:t.sv_host (fun () ->
       let reply result =
         Net.send t.sv_net ~category:"oasis.rbr.reply" ~size:32 ~src:t.sv_host ~dst:client_host
           (fun () -> k result)
       in
-      match validate t ~client:revoker.Cert.holder revoker with
-      | Error f -> reply (Error (Format.asprintf "revoker credential: %a" pp_failure f))
+      validate_revoker t revoker (function
+      | Error e -> reply (Error ("revoker credential: " ^ e))
       | Ok () -> (
           let key = blacklist_key role args in
           match Hashtbl.find_opt t.sv_rbr key with
@@ -1599,10 +1669,48 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
               let eligible, rest =
                 List.partition (fun (r, _) -> revoker_matches t r revoker) !cell
               in
-              if eligible = [] then reply (Error "revoker role does not match")
+              if eligible = [] then begin
+                (* Nothing armed for this revoker.  Distinguish a wrong
+                   revoker from a RETRY of a fire that already committed:
+                   the first attempt emptied the cell and blacklisted the
+                   key, then its ack was lost (crash, dropped reply).  The
+                   right is judged against the rolefile, exactly as in the
+                   no-membership branch; re-firing a blacklisted instance
+                   is idempotent success, acked durably like the original
+                   (the ack waits out any still-pending group commit). *)
+                let allowed =
+                  List.exists
+                    (fun (e : Ast.entry) ->
+                      fst e.Ast.head = role
+                      &&
+                      match e.Ast.revoker with
+                      | Some r -> revoker_matches t r revoker
+                      | None -> false)
+                    (Ast.entries t.sv_rolefile)
+                in
+                if allowed && Hashtbl.mem t.sv_blacklist key then
+                  ack_when_durable t (fun () -> reply (Ok 0))
+                else reply (Error "revoker role does not match")
+              end
               else begin
                 with_revocation_span t ~reason:"role" (fun () ->
                     List.iter (fun (_, rbr) -> Credrec.invalidate t.sv_table rbr) eligible);
+                (* The F record alone is not durable evidence of these
+                   deaths: a later re-hire removes the blacklist entry, and
+                   recovery would then re-arm the revoker records and
+                   resurrect the fired memberships.  Persist the death of
+                   each issued record the cascade just killed. *)
+                (match t.sv_durable with
+                | None -> ()
+                | Some du ->
+                    Hashtbl.fold
+                      (fun key i acc -> if i.i_alive then key :: acc else acc)
+                      du.du_issued []
+                    |> List.iter (fun key ->
+                           match Credrec.unmarshal_ref key with
+                           | Some cref when Credrec.state t.sv_table cref = Credrec.False ->
+                               persist_invalidate t cref
+                           | _ -> ()));
                 cell := rest;
                 Hashtbl.replace t.sv_blacklist key ();
                 persist_fire t key;
@@ -1610,7 +1718,7 @@ let revoke_role_instance t ~client_host ~revoker ~role ~args k =
                   (Printf.sprintf "%d membership(s) of %s revoked by role" (List.length eligible)
                      role);
                 ack_when_durable t (fun () -> reply (Ok (List.length eligible)))
-              end))
+              end)))
 
 let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
   Net.send t.sv_net ~category:"oasis.rbr" ~size:128 ~src:client_host ~dst:t.sv_host (fun () ->
@@ -1618,8 +1726,8 @@ let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
         Net.send t.sv_net ~category:"oasis.rbr.reply" ~size:32 ~src:t.sv_host ~dst:client_host
           (fun () -> k result)
       in
-      match validate t ~client:revoker.Cert.holder revoker with
-      | Error f -> reply (Error (Format.asprintf "revoker credential: %a" pp_failure f))
+      validate_revoker t revoker (function
+      | Error e -> reply (Error ("revoker credential: " ^ e))
       | Ok () ->
           let allowed =
             List.exists
@@ -1633,7 +1741,7 @@ let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
             Hashtbl.remove t.sv_blacklist (blacklist_key role args);
             persist_hire t (blacklist_key role args);
             ack_when_durable t (fun () -> reply (Ok ()))
-          end)
+          end))
 
 (* --- interworking (§4.12) --- *)
 

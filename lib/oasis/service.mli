@@ -81,6 +81,18 @@ val create :
 
 val name : t -> string
 val host : t -> Oasis_sim.Net.host
+
+val add_sibling : t -> string -> unit
+(** Declare another registered service a {e sibling shard} of the same
+    logical service (same rolefile, disjoint slice of the credential
+    records — see {!Shard}).  Unqualified role references in this
+    service's rolefile then also accept memberships validated at the
+    sibling, and sibling-issued certificates are accepted as fire/re-hire
+    revoker credentials (checked at their issuer over the §2.10
+    validation RPC and mirrored as external records, since credential
+    record references are table-relative).  Symmetric sharding wires
+    every pair both ways. *)
+
 val table : t -> Credrec.table
 val broker : t -> Oasis_events.Broker.server
 val rolefile : t -> Oasis_rdl.Ast.rolefile

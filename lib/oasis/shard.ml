@@ -1,0 +1,220 @@
+(* Sharded credential plane: consistent-hash placement plus a router in
+   front of N sibling Service replicas.  See shard.mli for the design
+   story; the invariant that keeps this module small is that credential
+   coherence never lives here — cross-shard edges are external records and
+   the §4.10 machinery, exactly as between unrelated services. *)
+
+module Net = Oasis_sim.Net
+module Siphash = Oasis_util.Siphash
+module Value = Oasis_rdl.Value
+
+type value = Oasis_rdl.Value.t
+
+(* One fixed key: placement must be a pure function of the routing key and
+   the ring membership, identical across processes and runs. *)
+let ring_key = Siphash.key_of_string "oasis.shard.ring.v1"
+
+module Ring = struct
+  type t = {
+    r_vnodes : int;
+    r_ids : int list;  (* ascending *)
+    r_points : (int64 * int) array;  (* (point, shard id), ascending unsigned *)
+  }
+
+  let point id v = Siphash.hash ring_key (Printf.sprintf "%d/%d" id v)
+
+  let of_ids ~vnodes ids =
+    let pts =
+      List.concat_map (fun id -> List.init vnodes (fun v -> (point id v, id))) ids
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (p1, i1) (p2, i2) ->
+        match Int64.unsigned_compare p1 p2 with 0 -> compare i1 i2 | c -> c)
+      pts;
+    { r_vnodes = vnodes; r_ids = List.sort compare ids; r_points = pts }
+
+  let make ?(vnodes = 64) ~shards () =
+    if shards < 1 then invalid_arg "Ring.make: shards must be >= 1";
+    if vnodes < 1 then invalid_arg "Ring.make: vnodes must be >= 1";
+    of_ids ~vnodes (List.init shards Fun.id)
+
+  let shard_count t = List.length t.r_ids
+  let vnodes t = t.r_vnodes
+  let shard_ids t = t.r_ids
+
+  (* First point clockwise from the key's hash, wrapping at the top. *)
+  let owner t key =
+    let h = Siphash.hash ring_key key in
+    let pts = t.r_points in
+    let n = Array.length pts in
+    let rec bsearch lo hi =
+      (* invariant: points below [lo] are < h, points at/above [hi] are >= h *)
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if Int64.unsigned_compare (fst pts.(mid)) h < 0 then bsearch (mid + 1) hi
+        else bsearch lo mid
+    in
+    let i = bsearch 0 n in
+    snd pts.(if i = n then 0 else i)
+
+  let add_shard t =
+    let fresh = 1 + List.fold_left max (-1) t.r_ids in
+    of_ids ~vnodes:t.r_vnodes (t.r_ids @ [ fresh ])
+
+  let remove_shard t id =
+    let rest = List.filter (fun i -> i <> id) t.r_ids in
+    if rest = [] then invalid_arg "Ring.remove_shard: cannot empty the ring";
+    of_ids ~vnodes:t.r_vnodes rest
+end
+
+(* Route by role instance, not by principal: one principal's roles may land
+   on different shards, which is precisely what exercises cross-shard
+   cascades.  The separator cannot occur in marshalled values. *)
+let route_key ~role ~args =
+  role ^ "(" ^ String.concat "\x01" (List.map Value.marshal args) ^ ")"
+
+type t = {
+  sh_net : Net.t;
+  sh_name : string;
+  sh_router : Net.host;
+  sh_ring : Ring.t;
+  sh_shards : Service.t array;  (* index = shard id *)
+}
+
+let shard_service_name name i = Printf.sprintf "%s#%d" name i
+
+let create net reg ~name ~rolefile ~shards ?(vnodes = 64) ?(heartbeat = 1.0) ?(durable = false)
+    ?(snapshot_every = 128) ?(groups = []) ?(lint = `Warn) () =
+  if shards < 1 then Error "Shard.create: shards must be >= 1"
+  else
+    let router = Net.add_host net ("h." ^ name ^ ".router") in
+    let ring = Ring.make ~vnodes ~shards () in
+    let rec build i acc =
+      if i = shards then Ok (List.rev acc)
+      else
+        let host = Net.add_host net (Printf.sprintf "h.%s.s%d" name i) in
+        let disk = if durable then Some (Oasis_store.Disk.create net host ()) else None in
+        match
+          (* §4.3 compound folding is disabled: it bakes every same-argument
+             role derived during an entry into one certificate record, but
+             instance-sharding deliberately places those roles on different
+             shards — a fold can only ever see its own shard's slice, so the
+             sharded and unsharded deployments would diverge.  One
+             certificate per entered role instead. *)
+          Service.create net host reg ~name:(shard_service_name name i) ~rolefile ~heartbeat
+            ?disk ~snapshot_every ~lint ~compound_certificates:false ()
+        with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+        | Ok svc ->
+            List.iter
+              (fun (g, members) ->
+                let grp = Service.group svc g in
+                List.iter (fun m -> Group.add grp (Value.Str m)) members)
+              groups;
+            build (i + 1) (svc :: acc)
+    in
+    match build 0 [] with
+    | Error e -> Error e
+    | Ok svcs ->
+        let arr = Array.of_list svcs in
+        Array.iter
+          (fun a ->
+            Array.iter (fun b -> if a != b then Service.add_sibling a (Service.name b)) arr)
+          arr;
+        Ok { sh_net = net; sh_name = name; sh_router = router; sh_ring = ring; sh_shards = arr }
+
+let name t = t.sh_name
+let ring t = t.sh_ring
+let shard_count t = Array.length t.sh_shards
+let router_host t = t.sh_router
+let shards t = t.sh_shards
+let shard t i = t.sh_shards.(i)
+let owner_index t ~role ~args = Ring.owner t.sh_ring (route_key ~role ~args)
+let owner t ~role ~args = t.sh_shards.(owner_index t ~role ~args)
+
+let shard_by_service_name t svc =
+  let n = Array.length t.sh_shards in
+  let rec go i =
+    if i = n then None
+    else if String.equal (Service.name t.sh_shards.(i)) svc then Some t.sh_shards.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Routed operations.  The router holds no state: each handler re-derives
+   the owner from the request, so retried (hence possibly re-delivered)
+   requests are idempotent exactly when the shard-side operation is.  The
+   asynchronous ops use rpc_async_retry because their acks are themselves
+   asynchronous — a fire ack rides the owning shard's WAL group commit
+   (Service.ack_when_durable), and answering from a synchronous handler
+   would resurrect the acked-but-lost-firing bug the model checker found
+   in PR 6.  Timeouts are generous: the forwarded leg may itself run a
+   cross-shard validation RPC with its own retry budget. *)
+
+let routed_timeout = 4.0
+
+let request_entry t ~client_host ~client ~role ~args ?(creds = []) k =
+  Net.rpc_async_retry t.sh_net ~category:"shard.entry"
+    ~size:(128 + (96 * List.length creds))
+    ~timeout:routed_timeout ~src:client_host ~dst:t.sh_router
+    (fun reply ->
+      let svc = owner t ~role ~args in
+      Service.request_entry svc ~client_host:t.sh_router ~client ~role ~args ~creds reply)
+    k
+
+let revoke_role_instance t ~client_host ~revoker ~role ~args k =
+  Net.rpc_async_retry t.sh_net ~category:"shard.rbr" ~size:160 ~timeout:routed_timeout
+    ~src:client_host ~dst:t.sh_router
+    (fun reply ->
+      let svc = owner t ~role ~args in
+      Service.revoke_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args reply)
+    k
+
+let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
+  Net.rpc_async_retry t.sh_net ~category:"shard.rbr" ~size:160 ~timeout:routed_timeout
+    ~src:client_host ~dst:t.sh_router
+    (fun reply ->
+      let svc = owner t ~role ~args in
+      Service.reinstate_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args reply)
+    k
+
+let validate t ~client_host ~client ?need_role cert k =
+  Net.rpc_async_retry t.sh_net ~category:"shard.validate" ~size:96 ~timeout:routed_timeout
+    ~src:client_host ~dst:t.sh_router
+    (fun reply ->
+      match shard_by_service_name t cert.Cert.service with
+      | None -> reply (Error ("certificate for foreign service " ^ cert.Cert.service))
+      | Some svc ->
+          (* Synchronous at the issuing shard; the record reference in the
+             certificate is only meaningful against that shard's table.
+             Short budget: the outer retry loop re-forwards on timeout. *)
+          Net.rpc_retry t.sh_net ~category:"shard.validate.fwd" ~timeout:1.0 ~attempts:2
+            ~backoff:0.25 ~src:t.sh_router ~dst:(Service.host svc)
+            (fun () ->
+              match Service.validate svc ~client ?need_role cert with
+              | Ok () -> Ok ()
+              | Error f -> Error (Format.asprintf "%a" Service.pp_failure f))
+            reply)
+    k
+
+let exit_role t ~client_host cert k =
+  Net.rpc_async_retry t.sh_net ~category:"shard.exit" ~size:96 ~timeout:routed_timeout
+    ~src:client_host ~dst:t.sh_router
+    (fun reply ->
+      match shard_by_service_name t cert.Cert.service with
+      | None -> reply (Error ("certificate for foreign service " ^ cert.Cert.service))
+      | Some svc -> Service.exit_role svc ~client_host:t.sh_router cert reply)
+    k
+
+let blacklisted t ~role ~args = Service.blacklisted (owner t ~role ~args) ~role ~args
+
+let fingerprint t =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun s -> Buffer.add_string buf (Printf.sprintf "%s=%Lx;" (Service.name s) (Service.fingerprint s)))
+    t.sh_shards;
+  Siphash.hash ring_key (Buffer.contents buf)
+
+let durable_flush t = Array.iter Service.durable_flush t.sh_shards

@@ -126,7 +126,11 @@ let send t ?(category = "msg") ?(size = 64) ~src ~dst action =
     else
       Engine.schedule t.engine ~tag:("d:" ^ dst.name) ~delay:(sample_latency t src dst) deliver
 
-let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
+(* The general request/response shape: the handler runs at [dst] and is
+   handed a [reply] closure it may call later, from any engine event —
+   which is what asynchronous servers (WAL group commit, nested RPCs)
+   need.  [rpc] specialises this to handlers that answer inline. *)
+let rpc_async t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
   let done_ = ref false in
   let ctx = Trace.current t.trace in
   Engine.schedule t.engine ~tag:("t:" ^ src.name) ~delay:timeout (fun () ->
@@ -138,25 +142,27 @@ let rpc t ?(category = "rpc") ?size ?(timeout = 2.0) ~src ~dst handler k =
         Trace.with_ctx t.trace ctx (fun () -> k (Error "timeout"))
       end);
   send t ~category ?size ~src ~dst (fun () ->
-      let result = handler () in
-      send t ~category:(category ^ ".reply") ?size ~src:dst ~dst:src (fun () ->
-          if !done_ then
-            (* The caller already gave up: the server-side effects stand
-               but the answer is discarded.  Experiments need to see how
-               often this happens (retried requests must be idempotent). *)
-            Stats.incr t.stats (category ^ ".late_reply")
-          else begin
-            done_ := true;
-            k result
-          end))
+      handler (fun result ->
+          send t ~category:(category ^ ".reply") ?size ~src:dst ~dst:src (fun () ->
+              if !done_ then
+                (* The caller already gave up: the server-side effects stand
+                   but the answer is discarded.  Experiments need to see how
+                   often this happens (retried requests must be idempotent). *)
+                Stats.incr t.stats (category ^ ".late_reply")
+              else begin
+                done_ := true;
+                k result
+              end)))
 
-let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(backoff = 0.25)
-    ?(max_backoff = 8.0) ~src ~dst handler k =
+let rpc t ?category ?size ?timeout ~src ~dst handler k =
+  rpc_async t ?category ?size ?timeout ~src ~dst (fun reply -> reply (handler ())) k
+
+let retry_loop t ~category ?(attempts = 5) ?(backoff = 0.25) ?(max_backoff = 8.0) ~src once k =
   if attempts < 1 then invalid_arg "Net.rpc_retry: attempts must be >= 1";
   let ctx = Trace.current t.trace in
   let rec go n =
     Stats.incr t.stats (category ^ ".attempt");
-    rpc t ~category ?size ~timeout ~src ~dst handler (function
+    once (function
       | Error "timeout" when n + 1 < attempts ->
           (* Exponential backoff with deterministic (seeded) jitter to
              decorrelate retry storms. *)
@@ -170,6 +176,18 @@ let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?(attempts = 5) ?(bac
       | result -> k result)
   in
   go 0
+
+let rpc_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?attempts ?backoff ?max_backoff ~src
+    ~dst handler k =
+  retry_loop t ~category ?attempts ?backoff ?max_backoff ~src
+    (fun k1 -> rpc t ~category ?size ~timeout ~src ~dst handler k1)
+    k
+
+let rpc_async_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?attempts ?backoff ?max_backoff
+    ~src ~dst handler k =
+  retry_loop t ~category ?attempts ?backoff ?max_backoff ~src
+    (fun k1 -> rpc_async t ~category ?size ~timeout ~src ~dst handler k1)
+    k
 
 let local_call t ?(category = "local") f =
   Stats.incr t.stats category;

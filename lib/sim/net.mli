@@ -108,5 +108,45 @@ val rpc_retry :
     [category ^ ".giveup"].  The handler may run more than once (a lost
     reply does not mean a lost request), so it must be idempotent. *)
 
+val rpc_async :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  src:host ->
+  dst:host ->
+  ((('a, string) result -> unit) -> unit) ->
+  (('a, string) result -> unit) ->
+  unit
+(** Like {!rpc}, but the handler receives a [reply] closure instead of
+    returning its result: it may call it later, from any subsequent engine
+    event.  This is the request/response shape for servers whose answer is
+    itself asynchronous — an ack that rides a WAL group commit, or a nested
+    RPC to another host — where a synchronous handler would have to answer
+    before the work is done.  Timeout, late-reply accounting and the
+    idempotence obligation are exactly as for {!rpc}; a reply closure
+    called twice sends two replies, of which the caller heeds at most
+    one. *)
+
+val rpc_async_retry :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?max_backoff:float ->
+  src:host ->
+  dst:host ->
+  ((('a, string) result -> unit) -> unit) ->
+  (('a, string) result -> unit) ->
+  unit
+(** {!rpc_async} with the {!rpc_retry} discipline: exponential backoff plus
+    seeded jitter on timeout, [category ^ ".attempt"]/[".giveup"]
+    accounting.  The handler may be {e concurrently} re-invoked while an
+    earlier invocation is still working (the caller cannot tell a slow
+    server from a lost request), so handlers must be idempotent under
+    overlap, not merely under sequential repetition. *)
+
 val local_call : t -> ?category:string -> (unit -> 'a) -> 'a
 (** Same-host invocation: zero latency, still accounted. *)

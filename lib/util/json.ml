@@ -63,6 +63,15 @@ let to_string j =
   to_buffer b j;
   Buffer.contents b
 
+let rec sorted = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+  | Arr items -> Arr (List.map sorted items)
+  | Obj fields ->
+      Obj
+        (List.stable_sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, v) -> (k, sorted v)) fields))
+
 let raw_to_buffer = Buffer.add_string
 
 (* --- parsing ---

@@ -30,6 +30,13 @@ val escape : string -> string
 val to_buffer : Buffer.t -> t -> unit
 val to_string : t -> string
 
+val sorted : t -> t
+(** The same document with every object's keys sorted (recursively,
+    stable for duplicates).  [Obj] emission otherwise preserves field
+    order, so emitters that assemble fields in data-dependent order
+    produce byte-different documents run to run; the bench snapshots
+    ([BENCH_*.json]) are emitted through this so they diff cleanly. *)
+
 val raw_to_buffer : Buffer.t -> string -> unit
 (** Append a pre-rendered JSON fragment verbatim.  For emitters that build
     large documents incrementally around already-serialised parts. *)

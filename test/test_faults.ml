@@ -663,6 +663,159 @@ let test_durable_crash_equivalence_25_seeds () =
   let r' = durable_burst_scenario ~crash:true 7L in
   checkb "same seed, same recovered run" true (r = r')
 
+(* --- sharded chaos vs the crash-free single-node twin ---
+
+   The sharded deployment (lib/oasis/shard.ml) under chaos faults on every
+   shard host and the router must converge to exactly the memberships its
+   crash-free SINGLE-NODE twin presents — the observable table may not
+   betray either the partitioning or the faults.  (test/test_shard.ml
+   holds sharded-vs-unsharded under the SAME weather on both sides; this
+   one crosses the axes: faulty-and-sharded against calm-and-unsharded.) *)
+
+module Shard = Oasis_core.Shard
+module Cert = Oasis_core.Cert
+
+(* Drive one routed operation to completion, retrying through the chaos
+   (virtual-clock polling, so the schedule is a deterministic function of
+   the seed). *)
+let routed_ok w label op =
+  let rec go tries last =
+    if tries = 0 then Alcotest.failf "%s: retries exhausted (last: %s)" label last
+    else begin
+      let cell = ref None in
+      op (fun r -> cell := Some r);
+      let rec wait budget =
+        match !cell with
+        | Some (Ok v) -> v
+        | Some (Error e) ->
+            srun w 0.5;
+            go (tries - 1) e
+        | None ->
+            if budget <= 0.0 then go (tries - 1) last
+            else begin
+              srun w 0.25;
+              wait (budget -. 0.25)
+            end
+      in
+      wait 30.0
+    end
+  in
+  go 8 "never completed"
+
+let sharded_burst_scenario ~chaos ~shards seed =
+  let engine = Engine.create () in
+  let net = Net.create ~seed ~latency:(Net.Fixed 0.005) engine in
+  let reg = Service.create_registry () in
+  let client_host = Net.add_host net "client" in
+  let login_host = Net.add_host net "h.login" in
+  let login =
+    match Service.create net login_host reg ~name:"Login" ~rolefile:login_rolefile () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "login: %s" e
+  in
+  let users = [ "u0"; "u1"; "u2"; "u3" ] in
+  let club =
+    match
+      Shard.create net reg ~name:"Meet" ~rolefile:durable_meet_rolefile ~shards ~durable:true
+        ~snapshot_every:6 ~groups:[ ("staff", users) ] ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "shard deploy: %s" e
+  in
+  let w = { s_engine = engine; s_net = net; s_client_host = client_host } in
+  srun w 0.2;
+  let jmb = fresh_vci () in
+  let jmb_cert =
+    Service.issue_arbitrary login ~client:jmb ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "jmb"; V.Str "ely" ]
+  in
+  let chair =
+    routed_ok w "enter-chair" (fun k ->
+        Shard.request_entry club ~client_host ~client:jmb ~role:"Chair" ~args:[]
+          ~creds:[ jmb_cert ] k)
+  in
+  let members =
+    List.map
+      (fun u ->
+        let vci = fresh_vci () in
+        let cert =
+          Service.issue_arbitrary login ~client:vci ~roles:[ "LoggedOn" ]
+            ~args:[ V.Str u; V.Str "ely" ]
+        in
+        ( u,
+          vci,
+          routed_ok w ("enter-" ^ u) (fun k ->
+              Shard.request_entry club ~client_host ~client:vci ~role:"Member"
+                ~args:[ V.Str u ] ~creds:[ cert ] k) ))
+      users
+  in
+  srun w 1.0;
+  let f = Net.fault net in
+  let hosts =
+    Net.host_addr (Shard.router_host club)
+    :: (Array.to_list (Shard.shards club) |> List.map (fun s -> Net.host_addr (Service.host s)))
+  in
+  if chaos then begin
+    (* Same global fault pressure at every shard count (cf. test_shard). *)
+    let mtbf = 1.5 *. float_of_int (List.length hosts) in
+    Fault.chaos f ~hosts ~mtbf ~mttr:1.0 ~until:(Engine.now engine +. 6.0)
+  end;
+  let fire u =
+    ignore
+      (routed_ok w ("fire-" ^ u) (fun k ->
+           Shard.revoke_role_instance club ~client_host ~revoker:chair ~role:"Member"
+             ~args:[ V.Str u ] k))
+  in
+  fire "u0";
+  fire "u1";
+  srun w 6.0;
+  let rec await_heal budget =
+    if List.for_all (Fault.up f) hosts then ()
+    else if budget <= 0.0 then Alcotest.fail "chaos never healed"
+    else begin
+      srun w 0.05;
+      await_heal (budget -. 0.05)
+    end
+  in
+  await_heal 5.0;
+  if chaos then
+    checkb "chaos actually crashed something" true
+      (Stats.count (Net.stats net) "fault.crash" >= 1);
+  (* The §4.10 bound: converged within 3 heartbeats of the final heal. *)
+  srun w 3.0;
+  let table =
+    List.map
+      (fun (u, vci, c) ->
+        let issuer =
+          Array.to_list (Shard.shards club)
+          |> List.find (fun s -> String.equal (Service.name s) c.Cert.service)
+        in
+        ( u,
+          match Service.validate issuer ~client:vci c with
+          | Ok () -> "ok"
+          | Error e -> Format.asprintf "%a" Service.pp_failure e ))
+      members
+  in
+  (table, Stats.report (Net.stats net))
+
+let test_sharded_chaos_equals_calm_single_node_25_seeds () =
+  let expected = [ ("u0", "revoked"); ("u1", "revoked"); ("u2", "ok"); ("u3", "ok") ] in
+  for s = 1 to 25 do
+    let seed = Int64.of_int (4000 + s) in
+    let stormy, _ = sharded_burst_scenario ~chaos:true ~shards:4 seed in
+    let calm, _ = sharded_burst_scenario ~chaos:false ~shards:1 seed in
+    Alcotest.(check (list (pair string string)))
+      (Printf.sprintf "seed %d: calm single-node twin has the expected memberships" s)
+      expected calm;
+    Alcotest.(check (list (pair string string)))
+      (Printf.sprintf "seed %d: sharded chaos state equals the calm twin" s)
+      calm stormy
+  done;
+  (* Replay identity: every counter of every category, bit-identical. *)
+  let r = sharded_burst_scenario ~chaos:true ~shards:4 4007L in
+  let r' = sharded_burst_scenario ~chaos:true ~shards:4 4007L in
+  checkb "same seed, same stormy sharded run" true (r = r')
+
 let () =
   Alcotest.run "faults"
     [
@@ -704,5 +857,7 @@ let () =
         [
           Alcotest.test_case "crash interleavings equal the crash-free run (25 seeds)" `Quick
             test_durable_crash_equivalence_25_seeds;
+          Alcotest.test_case "sharded chaos equals the calm single-node twin (25 seeds)" `Slow
+            test_sharded_chaos_equals_calm_single_node_25_seeds;
         ] );
     ]

@@ -31,6 +31,16 @@ let test_mssa_exhaustive () =
   checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 50);
   checki "no violations" 0 (List.length rp.Explore.rp_violations)
 
+let test_cross_shard_fire_exhaustive () =
+  (* The sharded club: a fire whose cascade crosses a shard boundary while
+     the owning shard crashes mid-flight.  Depth 10 reorders the crash
+     against the revocation, the WAL group commit, the ack and the
+     cross-shard ModifiedBatch digest. *)
+  let rp = Explore.explore Scenarios.cross_shard_fire (quick_params 10) in
+  checkb "exhaustive within budget" true rp.Explore.rp_exhaustive;
+  checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 100);
+  checki "no violations" 0 (List.length rp.Explore.rp_violations)
+
 (* --- soundness of the reductions: sleep sets + fingerprints must not
    change the verdict, only the work --- *)
 
@@ -103,6 +113,22 @@ let test_regression_golf_club_ack_durable () =
           let r = Explore.replay spec sf in
           checki "no violations on the fixed code" 0 (List.length r.Explore.r_violations))
 
+let test_regression_cross_shard_fire_durable () =
+  (* The ordering under which an unpersisted firing was forgotten by the
+     owning shard's recovery — the blacklist emptied, the fired member
+     re-entered, while the other shard had already revoked the derived
+     Editor: the logical service split across its shards.  Fixed by
+     persisting the blacklist entry and the cascade's record deaths at
+     fire time; the schedule must stay clean. *)
+  match Explore.load_schedule (schedule_path "cross_shard_fire_fire_durable.json") with
+  | Error e -> Alcotest.failf "load: %s" e
+  | Ok sf -> (
+      match Scenarios.find sf.Explore.sf_scenario with
+      | None -> Alcotest.failf "unknown scenario %s" sf.Explore.sf_scenario
+      | Some spec ->
+          let r = Explore.replay spec sf in
+          checki "no violations on the fixed code" 0 (List.length r.Explore.r_violations))
+
 (* --- schedule files round-trip --- *)
 
 let test_schedule_roundtrip () =
@@ -130,6 +156,8 @@ let () =
           Alcotest.test_case "golf club holds over every interleaving" `Quick
             test_golf_club_exhaustive;
           Alcotest.test_case "mssa holds over every interleaving" `Quick test_mssa_exhaustive;
+          Alcotest.test_case "cross-shard fire holds over every interleaving" `Quick
+            test_cross_shard_fire_exhaustive;
         ] );
       ( "reduction",
         [
@@ -149,6 +177,8 @@ let () =
             test_regression_planted_replay;
           Alcotest.test_case "golf-club ack-durable schedule stays clean" `Quick
             test_regression_golf_club_ack_durable;
+          Alcotest.test_case "cross-shard fire-durable schedule stays clean" `Quick
+            test_regression_cross_shard_fire_durable;
           Alcotest.test_case "schedule files round-trip" `Quick test_schedule_roundtrip;
         ] );
     ]

@@ -1,0 +1,470 @@
+(* The sharded credential plane, attacked from two sides:
+
+   - property tests on the consistent-hash ring (determinism, bounded key
+     movement on membership change, balance);
+   - a differential harness: the same seeded workload — entries, a
+     cross-shard revocation cascade, fire/re-hire, chaos faults on every
+     shard host and the router — run against a 1-shard and an N-shard
+     deployment, asserting the observable credential state converges to
+     the same table within 3 heartbeats of the final heal, for
+     N in {2, 4, 16} over 25 seeds, with bit-identical replays. *)
+
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Fault = Oasis_sim.Fault
+module Stats = Oasis_sim.Stats
+module Prng = Oasis_util.Prng
+module Service = Oasis_core.Service
+module Shard = Oasis_core.Shard
+module Principal = Oasis_core.Principal
+module Cert = Oasis_core.Cert
+module V = Oasis_rdl.Value
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- the ring --- *)
+
+(* 10k routing keys shaped like real ones (role name + marshalled args),
+   generated from a seeded stream so the sample is arbitrary but fixed. *)
+let sample_keys n =
+  let prng = Prng.create 424242L in
+  Array.init n (fun _ ->
+      Shard.route_key
+        ~role:(Printf.sprintf "Role%d" (Prng.int prng 7))
+        ~args:[ V.Str (Printf.sprintf "u%Ld" (Prng.bits64 prng)) ])
+
+let test_ring_deterministic () =
+  let r1 = Shard.Ring.make ~shards:8 () in
+  let r2 = Shard.Ring.make ~shards:8 () in
+  let keys = sample_keys 1_000 in
+  Array.iter
+    (fun k -> checki "same placement on equal rings" (Shard.Ring.owner r1 k) (Shard.Ring.owner r2 k))
+    keys;
+  checki "shard count" 8 (Shard.Ring.shard_count r1);
+  checki "vnodes default" 64 (Shard.Ring.vnodes r1)
+
+(* Adding one shard may steal at most ~1/(n+1) of the keyspace (we allow
+   2x for hash variance), and every stolen key must land on the newcomer —
+   nobody else's keys are allowed to move. *)
+let test_ring_movement_on_add () =
+  let keys = sample_keys 10_000 in
+  List.iter
+    (fun n ->
+      let before = Shard.Ring.make ~shards:n () in
+      let after = Shard.Ring.add_shard before in
+      let fresh =
+        List.filter (fun i -> not (List.mem i (Shard.Ring.shard_ids before)))
+          (Shard.Ring.shard_ids after)
+      in
+      let fresh = match fresh with [ f ] -> f | _ -> Alcotest.fail "exactly one fresh id" in
+      let moved = ref 0 in
+      Array.iter
+        (fun k ->
+          let o = Shard.Ring.owner before k and o' = Shard.Ring.owner after k in
+          if o <> o' then begin
+            incr moved;
+            checki (Printf.sprintf "moved key goes to the newcomer (n=%d)" n) fresh o'
+          end)
+        keys;
+      let bound = 2 * Array.length keys / (n + 1) in
+      checkb
+        (Printf.sprintf "n=%d: %d moved <= %d" n !moved bound)
+        true (!moved <= bound);
+      checkb (Printf.sprintf "n=%d: something moved" n) true (!moved > 0))
+    [ 2; 4; 8; 16 ]
+
+(* Removing a shard evicts exactly its own keys, at most ~2/n of the
+   keyspace; every other key keeps its owner. *)
+let test_ring_movement_on_remove () =
+  let keys = sample_keys 10_000 in
+  List.iter
+    (fun n ->
+      let before = Shard.Ring.make ~shards:n () in
+      let victim = n / 2 in
+      let after = Shard.Ring.remove_shard before victim in
+      checki "one fewer shard" (n - 1) (Shard.Ring.shard_count after);
+      let moved = ref 0 in
+      Array.iter
+        (fun k ->
+          let o = Shard.Ring.owner before k and o' = Shard.Ring.owner after k in
+          if o <> o' then begin
+            incr moved;
+            checki (Printf.sprintf "only the victim's keys move (n=%d)" n) victim o
+          end;
+          checkb "no key maps to the removed shard" true (o' <> victim))
+        keys;
+      let bound = 2 * Array.length keys / n in
+      checkb
+        (Printf.sprintf "n=%d: %d moved <= %d" n !moved bound)
+        true (!moved <= bound))
+    [ 2; 4; 8; 16 ]
+
+let test_ring_balance () =
+  let keys = sample_keys 10_000 in
+  List.iter
+    (fun n ->
+      let ring = Shard.Ring.make ~vnodes:64 ~shards:n () in
+      let counts = Array.make n 0 in
+      Array.iter (fun k -> let o = Shard.Ring.owner ring k in counts.(o) <- counts.(o) + 1) keys;
+      let ideal = Array.length keys / n in
+      Array.iteri
+        (fun i c ->
+          checkb
+            (Printf.sprintf "shard %d/%d load %d <= 2x ideal %d" i n c ideal)
+            true (c <= 2 * ideal))
+        counts)
+    [ 8; 16 ]
+
+(* --- the differential harness --- *)
+
+let login_rolefile = {|
+def LoggedOn(u, h) u: String h: String
+LoggedOn(u, h) <-
+|}
+
+(* Editor depends on an unqualified Member reference: when the two role
+   instances land on different shards, the dependency is an external
+   record between siblings — the cross-shard cascade under test. *)
+let club_rolefile =
+  {|
+Chair <- Login.LoggedOn("jmb", h)
+Member(u) <- Login.LoggedOn(u, h)* |>* Chair : u in staff
+Editor(u) <- Member(u)* |>* Chair
+|}
+
+type world = { w_engine : Engine.t; w_net : Net.t; w_client : Net.host }
+
+let srun w dt = Engine.run ~until:(Engine.now w.w_engine +. dt) w.w_engine
+
+let fresh_vci =
+  let host = Principal.Host.create "shardclienthost" in
+  let domain = Principal.Host.boot_domain host in
+  fun () -> Principal.Host.new_vci host domain
+
+let users = [ "u0"; "u1"; "u2"; "u3"; "u4"; "u5" ]
+
+let make_world ~seed ~shards =
+  let engine = Engine.create () in
+  let net = Net.create ~seed ~latency:(Net.Fixed 0.005) engine in
+  let reg = Service.create_registry () in
+  let client = Net.add_host net "client" in
+  let login_host = Net.add_host net "h.Login" in
+  let login =
+    match Service.create net login_host reg ~name:"Login" ~rolefile:login_rolefile () with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "login: %s" e
+  in
+  let club =
+    match
+      Shard.create net reg ~name:"Club" ~rolefile:club_rolefile ~shards ~durable:true
+        ~snapshot_every:8 ~groups:[ ("staff", users) ] ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "shard deploy: %s" e
+  in
+  ({ w_engine = engine; w_net = net; w_client = client }, login, club)
+
+(* Drive one routed operation to completion, retrying the whole operation
+   when it fails or stalls: under chaos an attempt can exhaust its retry
+   budget (router or owning shard down too long) or be denied transiently
+   (sibling revoker validation giving up).  Completions are polled on the
+   virtual clock, so the schedule stays a deterministic function of the
+   seed.  Stale completions of an abandoned attempt land in that attempt's
+   own cell — harmless, all the routed ops are idempotent. *)
+let rec until_ok ?(last = "never completed") w label tries op =
+  if tries = 0 then Alcotest.failf "%s: retries exhausted (last: %s)" label last
+  else begin
+    let cell = ref None in
+    op (fun r -> cell := Some r);
+    let rec wait budget =
+      match !cell with
+      | Some (Ok v) -> v
+      | Some (Error e) ->
+          srun w 0.5;
+          until_ok ~last:e w label (tries - 1) op
+      | None ->
+          if budget <= 0.0 then until_ok ~last w label (tries - 1) op
+          else begin
+            srun w 0.25;
+            wait (budget -. 0.25)
+          end
+    in
+    wait 40.0
+  end
+
+type creds = {
+  c_chair : Cert.rmc;
+  c_members : (string * Principal.vci * Cert.rmc) list;
+  c_editors : (string * Principal.vci * Cert.rmc) list;
+}
+
+let setup w login club =
+  let jmb = fresh_vci () in
+  let jmb_login =
+    Service.issue_arbitrary login ~client:jmb ~roles:[ "LoggedOn" ]
+      ~args:[ V.Str "jmb"; V.Str "ely" ]
+  in
+  let enter ~client ~role ~args ~creds label =
+    until_ok w label 8 (fun k ->
+        Shard.request_entry club ~client_host:w.w_client ~client ~role ~args ~creds k)
+  in
+  let chair = enter ~client:jmb ~role:"Chair" ~args:[] ~creds:[ jmb_login ] "enter-chair" in
+  let members =
+    List.map
+      (fun u ->
+        let vci = fresh_vci () in
+        let lc =
+          Service.issue_arbitrary login ~client:vci ~roles:[ "LoggedOn" ]
+            ~args:[ V.Str u; V.Str "ely" ]
+        in
+        let m =
+          enter ~client:vci ~role:"Member" ~args:[ V.Str u ] ~creds:[ lc ] ("enter-member-" ^ u)
+        in
+        (u, vci, m))
+      users
+  in
+  let editors =
+    List.filter_map
+      (fun (u, vci, m) ->
+        if List.mem u [ "u0"; "u1"; "u2"; "u3" ] then
+          Some
+            (u, vci, enter ~client:vci ~role:"Editor" ~args:[ V.Str u ] ~creds:[ m ] ("enter-editor-" ^ u))
+        else None)
+      members
+  in
+  { c_chair = chair; c_members = members; c_editors = editors }
+
+let status_at_issuer club ~client cert =
+  let issuer =
+    match
+      Array.to_seq (Shard.shards club)
+      |> Seq.find (fun s -> String.equal (Service.name s) cert.Cert.service)
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "no shard issued %s" cert.Cert.service
+  in
+  match Service.validate issuer ~client cert with
+  | Ok () -> "ok"
+  | Error f -> Format.asprintf "%a" Service.pp_failure f
+
+(* The observable table: per-certificate status as seen at the issuing
+   shard, plus the §4.11 blacklist bits.  Shard names vary with N
+   (Club#0..Club#N-1), so rows are keyed by workload-level labels. *)
+let observe club creds ~u1_new ~u1_vci =
+  let member_row (u, vci, m) = ("member." ^ u, status_at_issuer club ~client:vci m) in
+  let editor_row (u, vci, e) = ("editor." ^ u, status_at_issuer club ~client:vci e) in
+  let chair_row =
+    ("chair", status_at_issuer club ~client:creds.c_chair.Cert.holder creds.c_chair)
+  in
+  (chair_row :: List.map member_row creds.c_members)
+  @ List.map editor_row creds.c_editors
+  @ [ ("member.u1.new", status_at_issuer club ~client:u1_vci u1_new) ]
+  @ List.map
+      (fun u -> ("bl.member." ^ u, string_of_bool (Shard.blacklisted club ~role:"Member" ~args:[ V.Str u ])))
+      users
+  @ List.map
+      (fun u -> ("bl.editor." ^ u, string_of_bool (Shard.blacklisted club ~role:"Editor" ~args:[ V.Str u ])))
+      users
+
+(* One full run: setup, chaos over every shard host and the router, the
+   mutation workload driven to completion during the chaos, heal,
+   convergence within 3 heartbeats, then the observable table. *)
+let differential_run ~seed ~shards =
+  let w, login, club = make_world ~seed ~shards in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  (* Everyone's in; start the storm. *)
+  let f = Net.fault w.w_net in
+  let hosts =
+    Net.host_addr (Shard.router_host club)
+    :: (Array.to_list (Shard.shards club) |> List.map (fun s -> Net.host_addr (Service.host s)))
+  in
+  (* Per-host MTBF scales with the host count so the GLOBAL fault pressure
+     is the same at every shard count (~3-4 crashes per window): the
+     differential compares deployments under comparable weather, and the
+     routed operations keep a fighting chance of finding the router and
+     the owning shard up within one retry budget even at 16 shards. *)
+  let mtbf = 1.5 *. float_of_int (List.length hosts) in
+  Fault.chaos f ~hosts ~mtbf ~mttr:1.0 ~until:(Engine.now w.w_engine +. 10.0);
+  srun w 1.0;
+  let fire u =
+    ignore
+      (until_ok w ("fire-" ^ u) 8 (fun k ->
+           Shard.revoke_role_instance club ~client_host:w.w_client ~revoker:creds.c_chair
+             ~role:"Member" ~args:[ V.Str u ] k))
+  in
+  (* u0: fired, cascading into Editor(u0) on (usually) another shard.
+     u1: fired, re-hired, re-enters — old certs stay revoked, the new
+     membership is valid.  u3 loses Editor only.  u2/u4/u5 untouched. *)
+  fire "u0";
+  fire "u1";
+  until_ok w "rehire-u1" 8 (fun k ->
+      Shard.reinstate_role_instance club ~client_host:w.w_client ~revoker:creds.c_chair
+        ~role:"Member" ~args:[ V.Str "u1" ] k);
+  let u1_vci, u1_login =
+    let _, vci, _ = List.find (fun (u, _, _) -> u = "u1") creds.c_members in
+    ( vci,
+      Service.issue_arbitrary login ~client:vci ~roles:[ "LoggedOn" ]
+        ~args:[ V.Str "u1"; V.Str "ely" ] )
+  in
+  let u1_new =
+    until_ok w "reenter-u1" 8 (fun k ->
+        Shard.request_entry club ~client_host:w.w_client ~client:u1_vci ~role:"Member"
+          ~args:[ V.Str "u1" ] ~creds:[ u1_login ] k)
+  in
+  ignore
+    (until_ok w "fire-editor-u3" 8 (fun k ->
+         Shard.revoke_role_instance club ~client_host:w.w_client ~revoker:creds.c_chair
+           ~role:"Editor" ~args:[ V.Str "u3" ] k));
+  (* Let chaos run its course, then wait for the final heal of every host. *)
+  srun w 10.0;
+  let rec await_heal budget =
+    if List.for_all (Fault.up f) hosts then Engine.now w.w_engine
+    else if budget <= 0.0 then Alcotest.fail "chaos never healed"
+    else begin
+      srun w 0.05;
+      await_heal (budget -. 0.05)
+    end
+  in
+  let healed = await_heal 5.0 in
+  checkb "chaos actually crashed something" true
+    (Stats.count (Net.stats w.w_net) "fault.crash" >= 1);
+  (* §4.10 under sharding: the cross-shard cascade must be visible
+     everywhere within 3 heartbeats (heartbeat = 1.0) of the heal. *)
+  let sentinel (u, vci, c) want =
+    String.equal (status_at_issuer club ~client:vci c) want
+  in
+  let member u = List.find (fun (x, _, _) -> x = u) creds.c_members in
+  let editor u = List.find (fun (x, _, _) -> x = u) creds.c_editors in
+  let converged () =
+    sentinel (member "u0") "revoked"
+    && sentinel (member "u1") "revoked"
+    && sentinel (editor "u0") "revoked"
+    && sentinel (editor "u1") "revoked"
+    && sentinel (editor "u3") "revoked"
+    && sentinel ("u1", u1_vci, u1_new) "ok"
+  in
+  let deadline = healed +. 3.0 in
+  let rec poll () =
+    if converged () then ()
+    else if Engine.now w.w_engine >= deadline then
+      let s (u, vci, c) = status_at_issuer club ~client:vci c in
+      Alcotest.failf
+        "no convergence within 3 heartbeats of heal (seed %Ld, %d shards): m.u0=%s m.u1=%s \
+         e.u0=%s e.u1=%s e.u3=%s m.u1.new=%s"
+        seed shards
+        (s (member "u0")) (s (member "u1")) (s (editor "u0")) (s (editor "u1"))
+        (s (editor "u3"))
+        (s ("u1", u1_vci, u1_new))
+    else begin
+      srun w 0.05;
+      poll ()
+    end
+  in
+  poll ();
+  (observe club creds ~u1_new ~u1_vci, Stats.report (Net.stats w.w_net))
+
+let expected_table =
+  [
+    ("chair", "ok");
+    ("member.u0", "revoked");
+    ("member.u1", "revoked");
+    ("member.u2", "ok");
+    ("member.u3", "ok");
+    ("member.u4", "ok");
+    ("member.u5", "ok");
+    ("editor.u0", "revoked");
+    ("editor.u1", "revoked");
+    ("editor.u2", "ok");
+    ("editor.u3", "revoked");
+    ("member.u1.new", "ok");
+    ("bl.member.u0", "true");
+    ("bl.member.u1", "false");
+    ("bl.member.u2", "false");
+    ("bl.member.u3", "false");
+    ("bl.member.u4", "false");
+    ("bl.member.u5", "false");
+    ("bl.editor.u0", "false");
+    ("bl.editor.u1", "false");
+    ("bl.editor.u2", "false");
+    ("bl.editor.u3", "true");
+    ("bl.editor.u4", "false");
+    ("bl.editor.u5", "false");
+  ]
+
+let table = Alcotest.(list (pair string string))
+
+let test_differential_sharded_equals_unsharded () =
+  for s = 1 to 25 do
+    let seed = Int64.of_int (100 + s) in
+    let base, _ = differential_run ~seed ~shards:1 in
+    Alcotest.check table
+      (Printf.sprintf "seed %d: unsharded run reaches the expected state" s)
+      expected_table base;
+    List.iter
+      (fun n ->
+        let t, _ = differential_run ~seed ~shards:n in
+        Alcotest.check table
+          (Printf.sprintf "seed %d: %d-shard state equals unsharded" s n)
+          base t)
+      [ 2; 4; 16 ]
+  done
+
+let test_differential_replay_identical () =
+  List.iter
+    (fun n ->
+      let r = differential_run ~seed:7L ~shards:n in
+      let r' = differential_run ~seed:7L ~shards:n in
+      checkb (Printf.sprintf "%d shards: same seed, same run" n) true (r = r'))
+    [ 1; 2; 4 ]
+
+(* The router path itself (entry, validate, exit) in calm weather: routed
+   validation answers from the issuing shard, exit revokes. *)
+let test_router_validate_and_exit () =
+  let w, login, club = make_world ~seed:5L ~shards:4 in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let _, u4, m4 = List.find (fun (u, _, _) -> u = "u4") creds.c_members in
+  let vres = ref None in
+  Shard.validate club ~client_host:w.w_client ~client:u4 m4 (fun r -> vres := Some r);
+  srun w 2.0;
+  checkb "routed validate ok" true (!vres = Some (Ok ()));
+  let eres = ref None in
+  Shard.exit_role club ~client_host:w.w_client m4 (fun r -> eres := Some r);
+  srun w 2.0;
+  checkb "routed exit ok" true (!eres = Some (Ok ()));
+  srun w 3.0;
+  checkb "exited membership no longer validates" true
+    (status_at_issuer club ~client:u4 m4 <> "ok");
+  (* Instances really are spread: with 4 shards and 11 instances the ring
+     must use more than one shard (holds for this fixed workload). *)
+  let owners =
+    List.sort_uniq compare
+      (List.map (fun u -> Shard.owner_index club ~role:"Member" ~args:[ V.Str u ]) users)
+  in
+  checkb "members spread over several shards" true (List.length owners > 1)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic placement" `Quick test_ring_deterministic;
+          Alcotest.test_case "bounded movement on add" `Quick test_ring_movement_on_add;
+          Alcotest.test_case "bounded movement on remove" `Quick test_ring_movement_on_remove;
+          Alcotest.test_case "balance within 2x ideal" `Quick test_ring_balance;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "routed validate and exit" `Quick test_router_validate_and_exit;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "sharded = unsharded under chaos (25 seeds, N in {2,4,16})" `Slow
+            test_differential_sharded_equals_unsharded;
+          Alcotest.test_case "replay identity" `Quick test_differential_replay_identical;
+        ] );
+    ]

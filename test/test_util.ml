@@ -336,6 +336,35 @@ let test_pqueue_to_list_nondestructive () =
   checki "still 3" 3 (Pqueue.length q);
   Alcotest.(check (list int)) "snapshot sorted" [ 1; 2; 3 ] (List.map snd snapshot)
 
+(* --- json: sorted keys make emission order-independent --- *)
+
+module Json = Oasis_util.Json
+
+let test_json_sorted_key_order_independent () =
+  (* The same document assembled in two different field orders (nested
+     objects included) must render byte-identically after [sorted] — this
+     is what keeps BENCH_*.json diffable run to run. *)
+  let doc fields inner =
+    Json.Obj
+      (List.map
+         (fun k ->
+           ( k,
+             if k = "nested" then Json.Obj (List.map (fun k' -> (k', Json.Int 1)) inner)
+             else Json.Str k ))
+         fields)
+  in
+  let a = doc [ "b"; "a"; "nested"; "c" ] [ "z"; "y"; "x" ] in
+  let b = doc [ "c"; "nested"; "a"; "b" ] [ "x"; "z"; "y" ] in
+  checkb "permuted fields render differently unsorted" true
+    (Json.to_string a <> Json.to_string b);
+  Alcotest.(check string)
+    "sorted renders identically" (Json.to_string (Json.sorted a))
+    (Json.to_string (Json.sorted b));
+  (* Arrays keep their order — only object keys are sorted. *)
+  let arr = Json.Arr [ Json.Int 3; Json.Int 1; Json.Int 2 ] in
+  Alcotest.(check string) "arrays untouched" (Json.to_string arr)
+    (Json.to_string (Json.sorted arr))
+
 let qt = QCheck_alcotest.to_alcotest
 
 let () =
@@ -396,5 +425,10 @@ let () =
           qt prop_pqueue_pop_sorted;
           qt prop_pqueue_length;
           Alcotest.test_case "to_list" `Quick test_pqueue_to_list_nondestructive;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "sorted keys are order-independent" `Quick
+            test_json_sorted_key_order_independent;
         ] );
     ]
