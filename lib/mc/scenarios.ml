@@ -327,6 +327,95 @@ let cross_shard_fire =
                        shard_list));
   }
 
-let all = [ golf_club; mssa; planted; cross_shard_fire ]
+(* --- a primary crash mid-cascade, absorbed by failover (§4.11 + PR 8) --- *)
+
+(* The replicated club: one shard, K = 3 replicas behind the shard layer's
+   primary/backup plane ({!Oasis_core.Replica}).  The Chair fires alice and
+   the primary crashes while the revocation cascade, the WAL group commit,
+   the log-shipping batches and the quorum ack are all in flight — and it
+   {e never restarts}: a backup must win the lease election, adopt the
+   majority log and carry the epoch.  Every interleaving must preserve the
+   §4.11 discipline across the promotion, converge at the horizon, and —
+   whenever the same operations committed — match the crash-free twin
+   exactly: a replica crash is not allowed to change any outcome.
+
+   One judgement subtlety is inherent to quorum replication: a fire can
+   become durable on a majority (and thus survive into the next epoch)
+   while its ack dies with the primary, so "fire-alice completed" is not
+   the committed/lost discriminator the golf club uses.  The re-entry
+   probe is: alice's final verdict is Valid exactly when her late re-enter
+   committed (the firing never took effect anywhere), and Revoked
+   otherwise — whichever epoch is answering. *)
+
+let replica_failover =
+  {
+    sc_name = "replica-failover";
+    sc_services = [ svc "Login" login_rolefile ];
+    sc_principals = [ "jmb"; "alice" ];
+    sc_actions =
+      [
+        step ~at:0.10 "issue-jmb" (Issue { service = "Login"; who = "jmb" });
+        step ~at:0.12 "issue-alice" (Issue { service = "Login"; who = "alice" });
+        step ~at:0.30 "enter-chair" (Enter { who = "jmb"; service = "Club#0"; role = "Chair" });
+        step ~at:0.60 "enter-member" (Enter { who = "alice"; service = "Club#0"; role = "Member" });
+        step ~at:2.00 "fire-alice"
+          (Fire { by = "jmb"; service = "Club#0"; role = "Member"; arg = "alice" });
+        step ~at:2.06 "crash-primary" (Crash { host = "h.Club.s0" });
+        (* No restart: by 3.8 a backup has promoted itself and answers
+           under the same service name (on_promote rebinds it below). *)
+        step ~at:3.80 "reenter-member"
+          (Enter { who = "alice"; service = "Club#0"; role = "Member" });
+      ];
+    sc_expect =
+      (fun ~done_ ->
+        [
+          ("jmb", "Club#0.Chair", if done_ "enter-chair" then Valid else Absent);
+          ( "alice",
+            "Club#0.Member",
+            (* the re-entry probe: it commits iff the firing never did —
+               even a fire that was durable on a majority but never acked
+               blocks it at the promoted backup *)
+            if done_ "reenter-member" then Valid
+            else if done_ "enter-member" then Revoked
+            else Absent );
+        ]);
+    sc_invariants = [ No_reentry_without_rehire; Fired_stays_fired; Converges; Crash_equiv ];
+    sc_horizon = 6.0;
+    sc_window = (1.95, 2.55);
+    sc_latency = Net.Fixed 0.005;
+    sc_seed = 47L;
+    sc_custom =
+      Some
+        (fun w ->
+          match
+            Shard.create w.w_net w.w_reg ~name:"Club" ~rolefile:club_rolefile ~shards:1
+              ~durable:true ~snapshot_every:6
+              ~groups:[ ("staff", [ "alice" ]) ]
+              ~replicas:3 ()
+          with
+          | Error e -> invalid_arg ("replica-failover: " ^ e)
+          | Ok sh ->
+              let g = Shard.replica_group sh 0 in
+              w.w_services <-
+                w.w_services @ [ ("Club#0", Oasis_core.Replica.primary g) ];
+              (* A promotion changes which member answers for "Club#0";
+                 actions and judgements resolve through w_services, so
+                 rebind it — exactly what the registry does for clients. *)
+              Oasis_core.Replica.on_promote g (fun svc ->
+                  w.w_services <-
+                    ("Club#0", svc) :: List.remove_assoc "Club#0" w.w_services);
+              w.w_hosts <-
+                w.w_hosts
+                @ (("h.Club.router", Shard.router_host sh)
+                  :: List.mapi
+                       (fun j s -> (Printf.sprintf "h.Club.s0%s" (if j = 0 then "" else Printf.sprintf ".r%d" j), Service.host s))
+                       (Oasis_core.Replica.members g));
+              (* The shard fingerprint folds in epoch, readiness and the
+                 per-member stream cursors, so the explorer distinguishes
+                 failover states that the service tables alone would merge. *)
+              w.w_extra_fp <- (fun () -> Shard.fingerprint sh) :: w.w_extra_fp);
+  }
+
+let all = [ golf_club; mssa; planted; cross_shard_fire; replica_failover ]
 
 let find name = List.find_opt (fun s -> s.sc_name = name) all

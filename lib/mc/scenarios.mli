@@ -17,12 +17,19 @@
       the owning shard crashes while the revocation cascade, the
       cross-shard ModifiedBatch digest, the WAL group commit and the ack
       are all in flight.  Both shards must keep the §4.11 discipline,
-      converge after recovery, and match the crash-free twin. *)
+      converge after recovery, and match the crash-free twin.
+    - [replica_failover] — the club on one shard replicated K = 3
+      ({!Oasis_core.Replica}): the Chair fires alice and the primary
+      crashes mid-cascade, {e never to return}; a backup must win the
+      lease election, adopt the majority log, and the §4.11 discipline,
+      convergence and crash-free equivalence must all survive the
+      promotion. *)
 
 val golf_club : Scenario.t
 val mssa : Scenario.t
 val planted : Scenario.t
 val cross_shard_fire : Scenario.t
+val replica_failover : Scenario.t
 
 val all : Scenario.t list
 val find : string -> Scenario.t option

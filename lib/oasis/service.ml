@@ -57,6 +57,11 @@ type peer_link = {
   mutable pl_batch_reg : bool;  (* ModifiedBatch registration installed *)
   pl_reread_pending : (string, unit) Hashtbl.t;  (* keys awaiting post-heal reread *)
   mutable pl_rereading : bool;  (* a batched reread is in flight / scheduled *)
+  mutable pl_bound_host : string;
+      (* host the live session's broker runs on; when the peer's registry
+         entry moves to another host (replica failover, see {!Replica}) the
+         stale session can never heal and the link must rebind *)
+  mutable pl_retargeting : bool;  (* a stale-session registry watch is scheduled *)
 }
 
 (* A compiled residual membership rule (§4.7): either a constant or a
@@ -141,6 +146,15 @@ type t = {
          digest flush can join the revocation trace that caused it *)
   sv_residuals : (string, compiled) Cache.t;
   sv_durable : durable option;
+  mutable sv_repl_sync : ((unit -> unit) -> unit) option;
+      (* replication quorum hook (see {!Replica}): when set, client acks
+         wait for a write quorum instead of just the local group commit,
+         and log compaction is disabled so the WAL stays in the replica
+         group's global stream coordinates *)
+  mutable sv_auto_recover : bool;
+      (* run [recover] automatically from the host-restart hook; a replica
+         group disables this and drives recovery through its epoch/promote
+         protocol instead *)
   mutable sv_crypto_checks : int;
   mutable sv_cache_hits : int;
 }
@@ -290,7 +304,14 @@ let serialize_mirror t du =
    history suffix reaching past the snapshot point, so in-order replay
    over the snapshot converges on the pre-crash state). *)
 let maybe_snapshot t du =
-  if du.du_appends >= du.du_snapshot_every && not du.du_compacting then begin
+  (* Replicated services never compact: the WAL is the replica group's
+     shipped record stream, and every member's log must stay a prefix of it
+     in GLOBAL coordinates — a compacted primary and an uncompacted backup
+     would disagree about what "record #n" is.  Recovery is O(history)
+     for them; the replica protocol (tail fetch at promotion) depends on
+     exactly that full history being present. *)
+  if t.sv_repl_sync = None && du.du_appends >= du.du_snapshot_every && not du.du_compacting
+  then begin
     du.du_appends <- 0;
     du.du_compacting <- true;
     du.du_tail <- [];
@@ -313,9 +334,52 @@ let persist_hire t key =
 (* Fire/re-hire acks must not outrun the WAL: if the service crashed in the
    group-commit window after replying Ok, recovery would resurrect a
    membership the revoker was told is gone.  So success replies ride the
-   next fsync; a crash that loses the record also swallows the ack. *)
+   next fsync; a crash that loses the record also swallows the ack.  Under
+   replication the bar is higher still: the ack waits for a write quorum
+   of the replica group (the [sv_repl_sync] hook), so even losing the
+   primary's disk entirely cannot lose an acknowledged transition. *)
 let ack_when_durable t k =
+  match t.sv_repl_sync with
+  | Some quorum -> quorum k
+  | None -> (
+      match t.sv_durable with None -> k () | Some du -> Wal.sync du.du_wal k)
+
+(* --- replication hooks (the {!Replica} module drives these) --- *)
+
+let set_replication t ~sync = t.sv_repl_sync <- Some sync
+
+let set_ship t obs =
+  match t.sv_durable with Some du -> Wal.on_append du.du_wal obs | None -> ()
+
+let set_auto_recover t b = t.sv_auto_recover <- b
+
+let durable_sync t k =
   match t.sv_durable with None -> k () | Some du -> Wal.sync du.du_wal k
+
+let follower_append t line =
+  (* A record arriving FROM the replication stream: journal it verbatim
+     (same framing and group commit), but bypass the durable-mirror
+     bookkeeping — a backup's in-memory state is rebuilt from the log at
+     promotion time, not maintained incrementally — and bypass the ship
+     observer, so a follower never re-ships. *)
+  match t.sv_durable with None -> () | Some du -> Wal.follower_append du.du_wal line
+
+let durable_log_records t =
+  match t.sv_durable with None -> [] | Some du -> Wal.recover du.du_wal
+
+let durable_log_rewrite t records k =
+  (* Replace the WAL wholesale with a reconciled stream prefix (divergence
+     repair / promotion adoption).  Callers guarantee the group-commit
+     buffer is empty (everything durable) before rewriting, so the atomic
+     replace cannot race a buffered append.  Mirror bookkeeping is not
+     rebuilt here: only replicated services rewrite, and they never
+     compact, so the counters are inert. *)
+  match t.sv_durable with None -> k () | Some du -> Wal.rewrite du.du_wal records k
+
+let reregister t = Hashtbl.replace t.sv_registry t.sv_name t
+
+let registered t =
+  match find_service t.sv_registry t.sv_name with Some s -> s == t | None -> false
 
 (* Only records backing issued certificates are logged: an invalidation of
    anything else either cascades from a logged fact at recovery or is
@@ -381,7 +445,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
     ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
     ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0)
     ?(batch_notifications = true) ?(sig_cache_cap = 1024) ?disk ?(snapshot_every = 128)
-    ?(lint = `Warn) () =
+    ?(lint = `Warn) ?(register = true) () =
   match Parser.parse_result ?resolve_literal rolefile with
   | Error e -> Error e
   | Ok parsed -> (
@@ -482,11 +546,15 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   sv_pending_ctx = Hashtbl.create 64;
                   sv_residuals = Cache.create 4096;
                   sv_durable = durable;
+                  sv_repl_sync = None;
+                  sv_auto_recover = true;
                   sv_crypto_checks = 0;
                   sv_cache_hits = 0;
                 }
               in
-              Hashtbl.replace reg sv_name t;
+              (* Backup replicas share the primary's name but must not
+                 shadow it in the registry; promotion re-registers. *)
+              if register then Hashtbl.replace reg sv_name t;
               (match durable with
               | None -> ()
               | Some du ->
@@ -527,7 +595,7 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                       du.du_appends <- 0;
                       du.du_tail <- [];
                       du.du_compacting <- false);
-                  Net.on_restart net host (fun () -> !recover_ref t));
+                  Net.on_restart net host (fun () -> if t.sv_auto_recover then !recover_ref t));
               (* Batched notification: record changes accumulate in
                  [sv_pending_mods] and are flushed as ONE ModifiedBatch
                  digest at the top of each broker heartbeat tick, so the
@@ -668,6 +736,8 @@ let peer_link t peer_name =
           pl_batch_reg = false;
           pl_reread_pending = Hashtbl.create 16;
           pl_rereading = false;
+          pl_bound_host = "";
+          pl_retargeting = false;
         }
       in
       Hashtbl.replace t.sv_peers peer_name pl;
@@ -729,6 +799,11 @@ let rec reread_pending t pl peer session =
       end
   | _ -> pl.pl_rereading <- false
 
+(* Forward reference: the stale-session registry watch needs the whole
+   link plumbing (batch registration, reread) defined below, but is armed
+   from the staleness hook installed at connect time. *)
+let retarget_ref : (t -> peer_link -> Broker.session -> unit) ref = ref (fun _ _ _ -> ())
+
 (* One connect attempt to a peer's broker.  Failure does not abandon the
    link: if continuations are still queued (a recovery-time reread, a
    pending notification registration) the attempt is retried after a peer
@@ -758,15 +833,27 @@ let rec connect_peer t pl peer =
                 then connect_peer t pl peer)
       | Ok session ->
           pl.pl_session <- Some session;
+          pl.pl_bound_host <- Net.host_name peer.sv_host;
           (* §4.10: missed heartbeats mark every external record
              from this peer Unknown; recovery batch-rereads the
              states over one reliable RPC per link. *)
           Broker.on_staleness session (fun is_stale ->
-              if is_stale then
+              if is_stale then begin
                 Hashtbl.iter
                   (fun _ local_ref ->
                     Credrec.set_leaf t.sv_table local_ref Credrec.Unknown)
-                  pl.pl_externals
+                  pl.pl_externals;
+                (* While stale, watch the registry: if the peer's entry
+                   moves to another host (replica failover), this session
+                   can never heal — the watch rebinds the link to the new
+                   primary's broker. *)
+                if not pl.pl_retargeting then begin
+                  pl.pl_retargeting <- true;
+                  Engine.schedule (Net.engine t.sv_net)
+                    ~delay:(Broker.server_heartbeat t.sv_broker)
+                    (fun () -> !retarget_ref t pl session)
+                end
+              end
               else begin
                 Hashtbl.iter
                   (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
@@ -836,6 +923,49 @@ let ensure_batch_registration t pl =
                | [| Value.Str digest |] -> apply_mod_digest t pl digest
                | _ -> ())))
   end
+
+(* The stale-session registry watch (armed by the staleness hook in
+   [connect_peer]): while a peer session is stale, poll the registry once
+   per heartbeat.  If the peer's registered service has moved to a
+   different host — a replica group promoted a backup — drop the dead
+   session and rebind the link: re-register the ModifiedBatch template at
+   the new primary's broker and queue every mirrored external for a
+   reread there, so revocation digests flow again.  If the peer heals in
+   place (same host restarted), the ordinary §4.10 reread path takes over
+   and the watch stands down. *)
+let rec retarget_watch t pl session =
+  let live =
+    match Hashtbl.find_opt t.sv_peers pl.pl_peer with Some pl' -> pl' == pl | None -> false
+  in
+  let current =
+    match pl.pl_session with Some s -> s == session | None -> false
+  in
+  if not (live && current) then pl.pl_retargeting <- false
+  else if not (Broker.stale session) then pl.pl_retargeting <- false
+  else
+    match find_service t.sv_registry pl.pl_peer with
+    | Some peer when not (String.equal (Net.host_name peer.sv_host) pl.pl_bound_host) ->
+        pl.pl_retargeting <- false;
+        Broker.close session;
+        pl.pl_session <- None;
+        pl.pl_batch_reg <- false;
+        pl.pl_rereading <- false;
+        Stats.incr (stats t) "oasis.peer.retarget";
+        Hashtbl.iter
+          (fun key _ -> Hashtbl.replace pl.pl_reread_pending key ())
+          pl.pl_externals;
+        (* Per-record (unbatched) Modified templates are not re-registered
+           here: every replicated deployment batches.  The reread below
+           still heals current states once. *)
+        if peer.sv_batch then ensure_batch_registration t pl;
+        with_peer_session t pl (fun s ->
+            if not pl.pl_rereading then reread_pending t pl peer s)
+    | _ ->
+        Engine.schedule (Net.engine t.sv_net)
+          ~delay:(Broker.server_heartbeat t.sv_broker)
+          (fun () -> retarget_watch t pl session)
+
+let () = retarget_ref := retarget_watch
 
 (* Create (or reuse) the local surrogate for a remote credential record and
    arm event notification for its changes. *)
@@ -1841,9 +1971,9 @@ let delegate_revocation t ~client_host ~rcert ~to_cert k =
 
    The whole pass is charged [Disk.scan_delay] for the durable bytes read
    and traced as one [oasis.recover.e2e] span. *)
-let recover t =
+let recover ?on_done t =
   match t.sv_durable with
-  | None -> ()
+  | None -> Option.iter (fun k -> k ()) on_done
   | Some du ->
       let disk = du.du_disk in
       let bytes =
@@ -1855,7 +1985,8 @@ let recover t =
       Trace.add_attr sp "bytes" (string_of_int bytes);
       let t0 = Engine.now (Net.engine t.sv_net) in
       Engine.schedule (Net.engine t.sv_net) ~delay:(Disk.scan_delay disk ~bytes) (fun () ->
-          (if Net.host_up t.sv_net t.sv_host then
+          let up = Net.host_up t.sv_net t.sv_host in
+          (if up then
              Trace.with_ctx tr
                (Some (Trace.ctx_of sp))
                (fun () ->
@@ -1961,9 +2092,13 @@ let recover t =
                    (List.length snap_records + List.length log_records)));
           Trace.finish tr sp;
           Stats.observe_latency (stats t) "oasis.recover.e2e"
-            (Engine.now (Net.engine t.sv_net) -. t0))
+            (Engine.now (Net.engine t.sv_net) -. t0);
+          (* The completion hook only fires when the replay actually ran: a
+             crash racing the delayed closure aborts the recovery, and the
+             caller (a replica promotion) must not treat it as finished. *)
+          if up then Option.iter (fun k -> k ()) on_done)
 
-let () = recover_ref := recover
+let () = recover_ref := fun t -> recover t
 
 (* --- durability introspection (tests and benches) --- *)
 

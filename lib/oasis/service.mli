@@ -44,6 +44,7 @@ val create :
   ?disk:Oasis_store.Disk.t ->
   ?snapshot_every:int ->
   ?lint:[ `Off | `Warn | `Strict ] ->
+  ?register:bool ->
   unit ->
   (t, string) result
 (** Parse + type-check the rolefile and install the service.
@@ -77,7 +78,12 @@ val create :
     re-mirror at [Unknown] until the reread machinery heals them, and
     fired instances stay fired.  The broker's retained event log rides
     the same device.  Without [disk], a crash loses all service state
-    (the pre-durability behaviour). *)
+    (the pre-durability behaviour).
+
+    [register] (default true): install the service in [registry] under its
+    name.  Backup replicas of a replica group (see {!Replica}) pass
+    [false] — they share the primary's name and must not shadow it; a
+    promotion calls {!reregister}. *)
 
 val name : t -> string
 val host : t -> Oasis_sim.Net.host
@@ -295,10 +301,66 @@ val durable_flush : t -> unit
 val blacklisted : t -> role:string -> args:value list -> bool
 (** Is the role instance currently fired (§4.11)? *)
 
-val recover : t -> unit
+val recover : ?on_done:(unit -> unit) -> t -> unit
 (** The restart hook: replay snapshot + log and re-materialise issued
     state.  Registered automatically on host restart when [disk] was
-    given; exposed for tests driving recovery directly. *)
+    given (unless {!set_auto_recover} turned it off); exposed for tests
+    and for the replica promotion protocol, whose [on_done] fires once
+    the replay has actually run — never when a racing crash aborted it. *)
+
+(** {1 Replication hooks ({!Replica} drives these)}
+
+    A replica group runs K full services under ONE name on K hosts: the
+    primary's WAL is the authoritative record stream, backups journal
+    shipped copies of it, and client acks wait for a write quorum.  The
+    hooks below are the whole surface the group needs from the service:
+    everything else (identical secrets from the shared name, idempotent
+    log replay, §4.10 healing) already holds. *)
+
+val set_replication : t -> sync:((unit -> unit) -> unit) -> unit
+(** Install the quorum hook: {e every} client ack that previously rode the
+    local group commit ([ack_when_durable]) now rides [sync] instead.
+    Also disables log compaction — the WAL must remain the full stream in
+    global record coordinates (see DESIGN.md). *)
+
+val set_ship : t -> (string -> unit) option -> unit
+(** Install (or clear) the WAL ship observer ({!Oasis_store.Wal.on_append})
+    on this service's log.  Only the group's current primary carries it. *)
+
+val set_auto_recover : t -> bool -> unit
+(** Whether the host-restart hook replays the log automatically (default
+    true).  Replica-group members turn this off: a restarted member
+    recovers through the epoch/promotion protocol, which must fetch any
+    missing log suffix from its peers {e before} replaying. *)
+
+val durable_sync : t -> (unit -> unit) -> unit
+(** Run the callback once everything appended to the local WAL so far is
+    durable (the raw, single-host flavour of [ack_when_durable]). *)
+
+val follower_append : t -> string -> unit
+(** Journal one record shipped from the primary's stream: same framing and
+    group commit as a local append, but invisible to the ship observer and
+    to the snapshot bookkeeping. *)
+
+val durable_log_records : t -> string list
+(** The durable (synced) prefix of this service's WAL, decoded.  At
+    quiescence a backup's list is a prefix of the primary's stream — the
+    log-shipping invariant the replication tests assert. *)
+
+val durable_log_rewrite : t -> string list -> (unit -> unit) -> unit
+(** Atomically replace the WAL's contents with exactly [records] and run
+    the callback once the replacement is durable.  Replication repair only:
+    a rejoining member whose log diverged from the stream (an old epoch's
+    unacked tail) is rewritten to a true stream prefix, and a promotion
+    adopts the winning log wholesale.  The caller must have synced the
+    group-commit buffer first. *)
+
+val reregister : t -> unit
+(** (Re-)install this service in the registry under its name — how a
+    promoted backup takes over the logical service identity. *)
+
+val registered : t -> bool
+(** Is this exact instance the one the registry currently resolves? *)
 
 val fingerprint : t -> int64
 (** Deterministic hash of the service's protocol-visible state: the

@@ -5,8 +5,10 @@
    the §4.10 machinery, exactly as between unrelated services. *)
 
 module Net = Oasis_sim.Net
+module Engine = Oasis_sim.Engine
 module Siphash = Oasis_util.Siphash
 module Value = Oasis_rdl.Value
+module Broker = Oasis_events.Broker
 
 type value = Oasis_rdl.Value.t
 
@@ -64,6 +66,12 @@ module Ring = struct
     of_ids ~vnodes:t.r_vnodes (t.r_ids @ [ fresh ])
 
   let remove_shard t id =
+    (* An unknown id used to no-op silently (the filter removed nothing),
+       masking caller bugs — resharding code that "removed" a shard it had
+       already removed, or mistyped an id, saw a healthy ring.  Raise, as
+       [make] does for invalid parameters. *)
+    if not (List.mem id t.r_ids) then
+      invalid_arg (Printf.sprintf "Ring.remove_shard: shard %d is not in the ring" id);
     let rest = List.filter (fun i -> i <> id) t.r_ids in
     if rest = [] then invalid_arg "Ring.remove_shard: cannot empty the ring";
     of_ids ~vnodes:t.r_vnodes rest
@@ -80,65 +88,111 @@ type t = {
   sh_name : string;
   sh_router : Net.host;
   sh_ring : Ring.t;
-  sh_shards : Service.t array;  (* index = shard id *)
+  sh_groups : Replica.t array;  (* index = shard id *)
 }
 
 let shard_service_name name i = Printf.sprintf "%s#%d" name i
 
+(* Replica 0 keeps the historical host name so K = 1 deployments are
+   byte-identical to the pre-replication plane (the persisted model-checker
+   schedules replay against those host names). *)
+let replica_host_name name i j =
+  if j = 0 then Printf.sprintf "h.%s.s%d" name i
+  else Printf.sprintf "h.%s.s%d.r%d" name i j
+
 let create net reg ~name ~rolefile ~shards ?(vnodes = 64) ?(heartbeat = 1.0) ?(durable = false)
-    ?(snapshot_every = 128) ?(groups = []) ?(lint = `Warn) () =
+    ?(snapshot_every = 128) ?(groups = []) ?(lint = `Warn) ?(replicas = 1) ?repl_heartbeat
+    ?repl_lease ?repl_stagger () =
   if shards < 1 then Error "Shard.create: shards must be >= 1"
+  else if replicas < 1 then Error "Shard.create: replicas must be >= 1"
+  else if replicas > 1 && not durable then
+    (* Shipping replays the WAL; a memory-only backup would promote empty. *)
+    Error "Shard.create: replicas > 1 requires durable:true"
   else
     let router = Net.add_host net ("h." ^ name ^ ".router") in
     let ring = Ring.make ~vnodes ~shards () in
+    let build_replica i j =
+      let host = Net.add_host net (replica_host_name name i j) in
+      let disk = if durable then Some (Oasis_store.Disk.create net host ()) else None in
+      match
+        (* §4.3 compound folding is disabled: it bakes every same-argument
+           role derived during an entry into one certificate record, but
+           instance-sharding deliberately places those roles on different
+           shards — a fold can only ever see its own shard's slice, so the
+           sharded and unsharded deployments would diverge.  One
+           certificate per entered role instead. *)
+        Service.create net host reg ~name:(shard_service_name name i) ~rolefile ~heartbeat
+          ?disk ~snapshot_every ~lint ~compound_certificates:false ~register:(j = 0) ()
+      with
+      | Error e -> Error (Printf.sprintf "shard %d replica %d: %s" i j e)
+      | Ok svc ->
+          (* Seed static groups on every replica: group allocation consumes
+             record ids, and replicas must agree on the id prefix so the
+             shipped stream lands at the same coordinates everywhere. *)
+          List.iter
+            (fun (g, members) ->
+              let grp = Service.group svc g in
+              List.iter (fun m -> Group.add grp (Value.Str m)) members)
+            groups;
+          Ok svc
+    in
     let rec build i acc =
       if i = shards then Ok (List.rev acc)
       else
-        let host = Net.add_host net (Printf.sprintf "h.%s.s%d" name i) in
-        let disk = if durable then Some (Oasis_store.Disk.create net host ()) else None in
-        match
-          (* §4.3 compound folding is disabled: it bakes every same-argument
-             role derived during an entry into one certificate record, but
-             instance-sharding deliberately places those roles on different
-             shards — a fold can only ever see its own shard's slice, so the
-             sharded and unsharded deployments would diverge.  One
-             certificate per entered role instead. *)
-          Service.create net host reg ~name:(shard_service_name name i) ~rolefile ~heartbeat
-            ?disk ~snapshot_every ~lint ~compound_certificates:false ()
-        with
-        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
-        | Ok svc ->
-            List.iter
-              (fun (g, members) ->
-                let grp = Service.group svc g in
-                List.iter (fun m -> Group.add grp (Value.Str m)) members)
-              groups;
-            build (i + 1) (svc :: acc)
+        let rec build_members j macc =
+          if j = replicas then Ok (List.rev macc)
+          else
+            match build_replica i j with
+            | Error e -> Error e
+            | Ok svc -> build_members (j + 1) (svc :: macc)
+        in
+        match build_members 0 [] with
+        | Error e -> Error e
+        | Ok members ->
+            let grp =
+              Replica.create net
+                ~members:(Array.of_list members)
+                ?heartbeat:repl_heartbeat ?lease:repl_lease ?stagger:repl_stagger ()
+            in
+            build (i + 1) ((grp, members) :: acc)
     in
     match build 0 [] with
     | Error e -> Error e
-    | Ok svcs ->
-        let arr = Array.of_list svcs in
-        Array.iter
-          (fun a ->
-            Array.iter (fun b -> if a != b then Service.add_sibling a (Service.name b)) arr)
-          arr;
-        Ok { sh_net = net; sh_name = name; sh_router = router; sh_ring = ring; sh_shards = arr }
+    | Ok built ->
+        (* Every replica of every shard knows the sibling *names* of the
+           other shards; name-based wiring survives failover because the
+           promoted backup re-registers under the same logical name. *)
+        List.iteri
+          (fun i (_, members) ->
+            List.iter
+              (fun svc ->
+                List.iteri
+                  (fun i' _ ->
+                    if i' <> i then Service.add_sibling svc (shard_service_name name i'))
+                  built)
+              members)
+          built;
+        let arr = Array.of_list (List.map fst built) in
+        Ok { sh_net = net; sh_name = name; sh_router = router; sh_ring = ring; sh_groups = arr }
 
 let name t = t.sh_name
 let ring t = t.sh_ring
-let shard_count t = Array.length t.sh_shards
+let shard_count t = Array.length t.sh_groups
 let router_host t = t.sh_router
-let shards t = t.sh_shards
-let shard t i = t.sh_shards.(i)
+let shards t = Array.map Replica.primary t.sh_groups
+let shard t i = Replica.primary t.sh_groups.(i)
+let replica_groups t = t.sh_groups
+let replica_group t i = t.sh_groups.(i)
 let owner_index t ~role ~args = Ring.owner t.sh_ring (route_key ~role ~args)
-let owner t ~role ~args = t.sh_shards.(owner_index t ~role ~args)
+let owner_group t ~role ~args = t.sh_groups.(owner_index t ~role ~args)
+let owner t ~role ~args = Replica.primary (owner_group t ~role ~args)
 
-let shard_by_service_name t svc =
-  let n = Array.length t.sh_shards in
+let group_by_service_name t svc =
+  let n = Array.length t.sh_groups in
   let rec go i =
     if i = n then None
-    else if String.equal (Service.name t.sh_shards.(i)) svc then Some t.sh_shards.(i)
+    else if String.equal (Service.name (Replica.primary t.sh_groups.(i))) svc then
+      Some t.sh_groups.(i)
     else go (i + 1)
   in
   go 0
@@ -155,57 +209,103 @@ let shard_by_service_name t svc =
 
 let routed_timeout = 4.0
 
+(* A promotion that has committed but not finished replaying must not serve:
+   the new primary's table is mid-rebuild, and answering from it could hand
+   out record ids that collide with not-yet-restored identities.  Dropping
+   the forward (no reply at all) lets the outer retry loop re-forward after
+   the replay settles — indistinguishable, to the client, from one lost
+   message. *)
+let forward g f = if Replica.ready g then f (Replica.primary g)
+
 let request_entry t ~client_host ~client ~role ~args ?(creds = []) k =
   Net.rpc_async_retry t.sh_net ~category:"shard.entry"
     ~size:(128 + (96 * List.length creds))
     ~timeout:routed_timeout ~src:client_host ~dst:t.sh_router
     (fun reply ->
-      let svc = owner t ~role ~args in
-      Service.request_entry svc ~client_host:t.sh_router ~client ~role ~args ~creds reply)
+      forward (owner_group t ~role ~args) (fun svc ->
+          Service.request_entry svc ~client_host:t.sh_router ~client ~role ~args ~creds reply))
     k
 
 let revoke_role_instance t ~client_host ~revoker ~role ~args k =
   Net.rpc_async_retry t.sh_net ~category:"shard.rbr" ~size:160 ~timeout:routed_timeout
     ~src:client_host ~dst:t.sh_router
     (fun reply ->
-      let svc = owner t ~role ~args in
-      Service.revoke_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args reply)
+      forward (owner_group t ~role ~args) (fun svc ->
+          Service.revoke_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args reply))
     k
 
 let reinstate_role_instance t ~client_host ~revoker ~role ~args k =
   Net.rpc_async_retry t.sh_net ~category:"shard.rbr" ~size:160 ~timeout:routed_timeout
     ~src:client_host ~dst:t.sh_router
     (fun reply ->
-      let svc = owner t ~role ~args in
-      Service.reinstate_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args reply)
+      forward (owner_group t ~role ~args) (fun svc ->
+          Service.reinstate_role_instance svc ~client_host:t.sh_router ~revoker ~role ~args
+            reply))
     k
+
+let fail_closed_verdict service =
+  Printf.sprintf
+    "fail-closed: issuing shard %s unreachable; certificate treated as invalid until it \
+     answers"
+    service
 
 let validate t ~client_host ~client ?need_role cert k =
   Net.rpc_async_retry t.sh_net ~category:"shard.validate" ~size:96 ~timeout:routed_timeout
     ~src:client_host ~dst:t.sh_router
     (fun reply ->
-      match shard_by_service_name t cert.Cert.service with
+      match group_by_service_name t cert.Cert.service with
       | None -> reply (Error ("certificate for foreign service " ^ cert.Cert.service))
-      | Some svc ->
+      | Some g ->
           (* Synchronous at the issuing shard; the record reference in the
              certificate is only meaningful against that shard's table.
-             Short budget: the outer retry loop re-forwards on timeout. *)
-          Net.rpc_retry t.sh_net ~category:"shard.validate.fwd" ~timeout:1.0 ~attempts:2
-            ~backoff:0.25 ~src:t.sh_router ~dst:(Service.host svc)
-            (fun () ->
-              match Service.validate svc ~client ?need_role cert with
-              | Ok () -> Ok ()
-              | Error f -> Error (Format.asprintf "%a" Service.pp_failure f))
-            reply)
+
+             The forwarded leg used to surface a raw rpc_retry giveup —
+             [Error "timeout"] — as a hard verdict whenever the owning
+             shard was down or mid-recovery, so a transient crash turned
+             into a spurious "certificate invalid" at the caller.  Mirror
+             Service's §4.10 reread-giveup handling instead: back off one
+             broker heartbeat (re-resolving the primary, which may have
+             failed over meanwhile), retry once, and only then return an
+             {e explicit} fail-closed verdict — a deliberate decision the
+             caller can distinguish from a validation failure, not a leaked
+             transport error.  The budget (≈1.2 s per attempt + one
+             heartbeat backoff) stays inside one [routed_timeout] attempt,
+             so the outer loop still re-forwards cleanly on top of this. *)
+          let rec attempt retries_left =
+            let svc = Replica.primary g in
+            let backoff_or_fail () =
+              if retries_left > 0 then
+                Engine.schedule (Net.engine t.sh_net)
+                  ~delay:(Broker.server_heartbeat (Service.broker svc))
+                  (fun () -> attempt (retries_left - 1))
+              else reply (Error (fail_closed_verdict cert.Cert.service))
+            in
+            if not (Replica.ready g) then
+              (* A promotion is mid-replay: the new primary's table is
+                 being rebuilt and could answer wrongly.  Same treatment
+                 as unreachable. *)
+              backoff_or_fail ()
+            else
+              Net.rpc_retry t.sh_net ~category:"shard.validate.fwd" ~timeout:0.5 ~attempts:2
+                ~backoff:0.2 ~src:t.sh_router ~dst:(Service.host svc)
+                (fun () ->
+                  match Service.validate svc ~client ?need_role cert with
+                  | Ok () -> Ok ()
+                  | Error f -> Error (Format.asprintf "%a" Service.pp_failure f))
+                (function
+                  | Error "timeout" -> backoff_or_fail ()
+                  | r -> reply r)
+          in
+          attempt 1)
     k
 
 let exit_role t ~client_host cert k =
   Net.rpc_async_retry t.sh_net ~category:"shard.exit" ~size:96 ~timeout:routed_timeout
     ~src:client_host ~dst:t.sh_router
     (fun reply ->
-      match shard_by_service_name t cert.Cert.service with
+      match group_by_service_name t cert.Cert.service with
       | None -> reply (Error ("certificate for foreign service " ^ cert.Cert.service))
-      | Some svc -> Service.exit_role svc ~client_host:t.sh_router cert reply)
+      | Some g -> forward g (fun svc -> Service.exit_role svc ~client_host:t.sh_router cert reply))
     k
 
 let blacklisted t ~role ~args = Service.blacklisted (owner t ~role ~args) ~role ~args
@@ -213,8 +313,23 @@ let blacklisted t ~role ~args = Service.blacklisted (owner t ~role ~args) ~role 
 let fingerprint t =
   let buf = Buffer.create 64 in
   Array.iter
-    (fun s -> Buffer.add_string buf (Printf.sprintf "%s=%Lx;" (Service.name s) (Service.fingerprint s)))
-    t.sh_shards;
+    (fun g ->
+      if Replica.replica_count g = 1 then
+        (* Byte-identical to the pre-replication fingerprint so persisted
+           model-checker schedules keep replaying. *)
+        let s = Replica.primary g in
+        Buffer.add_string buf
+          (Printf.sprintf "%s=%Lx;" (Service.name s) (Service.fingerprint s))
+      else begin
+        List.iteri
+          (fun j s ->
+            Buffer.add_string buf
+              (Printf.sprintf "%s/%d=%Lx;" (Service.name s) j (Service.fingerprint s)))
+          (Replica.members g);
+        Buffer.add_string buf (Printf.sprintf "repl=%Lx;" (Replica.fingerprint g))
+      end)
+    t.sh_groups;
   Siphash.hash ring_key (Buffer.contents buf)
 
-let durable_flush t = Array.iter Service.durable_flush t.sh_shards
+let durable_flush t =
+  Array.iter (fun g -> List.iter Service.durable_flush (Replica.members g)) t.sh_groups

@@ -28,11 +28,20 @@
     (see DESIGN.md, substitutions): it holds no credential state, so its
     loss is availability, never safety.
 
+    With [replicas = K > 1] each shard is additionally a {!Replica} group:
+    K durable service instances under the shard's one logical name, the
+    primary shipping its WAL to backups and acking only at a majority, with
+    deterministic lease/epoch failover.  The router re-resolves the owning
+    group's {e current} primary at forward time, so requests follow a
+    failover transparently; while a promotion is replaying, forwards are
+    dropped (not answered) and the client-side retry re-delivers them.
+
     Correctness story: the differential harness in [test/test_shard.ml]
     runs identical seeded workloads against 1-shard and N-shard
-    deployments and asserts observable equivalence under chaos faults; the
-    [cross_shard_fire] model-checker scenario explores a shard crash in
-    the middle of a cross-shard revocation cascade exhaustively. *)
+    deployments (and against K = 1 vs K = 3 replica groups) and asserts
+    observable equivalence under chaos faults; the [cross_shard_fire] and
+    [replica_failover] model-checker scenarios explore shard/replica
+    crashes in the middle of revocation cascades exhaustively. *)
 
 type value = Oasis_rdl.Value.t
 
@@ -65,7 +74,10 @@ module Ring : sig
       newcomer only where its points land. *)
 
   val remove_shard : t -> int -> t
-  (** A new ring without [id]; only keys owned by [id] move. *)
+  (** A new ring without [id]; only keys owned by [id] move.
+      @raise Invalid_argument if [id] is not in the ring (a silent no-op
+      here used to mask resharding bugs) or if removing it would empty
+      the ring. *)
 end
 
 val route_key : role:string -> args:value list -> string
@@ -91,6 +103,10 @@ val create :
   ?snapshot_every:int ->
   ?groups:(string * string list) list ->
   ?lint:[ `Off | `Warn | `Strict ] ->
+  ?replicas:int ->
+  ?repl_heartbeat:float ->
+  ?repl_lease:float ->
+  ?repl_stagger:float ->
   unit ->
   (t, string) result
 (** Build the deployment: one router host plus [shards] shard services,
@@ -102,6 +118,15 @@ val create :
     twin the differential tests compare against: same code path, same
     naming, one shard.
 
+    [replicas] (default 1) sets the replication factor K of each shard's
+    {!Replica} group; K > 1 requires [durable] (backups journal the
+    shipped stream) and disables snapshot compaction on group members (the
+    stream is in global record coordinates).  Replica [j] of shard [i]
+    runs on host [h.name.sI] for [j = 0] (the historical name, so K = 1 is
+    byte-identical to the pre-replication plane) and [h.name.sI.rJ]
+    otherwise.  [repl_heartbeat]/[repl_lease]/[repl_stagger] tune the
+    failover clock; see {!Replica.create} for defaults.  Use odd K.
+
     Compound certificates (§4.3) are disabled on every shard: folding
     same-argument roles into one record assumes all of a principal's roles
     live in one table, which is exactly what instance-sharding gives up.
@@ -112,12 +137,20 @@ val ring : t -> Ring.t
 val shard_count : t -> int
 val router_host : t -> Oasis_sim.Net.host
 val shards : t -> Service.t array
+(** Current primaries, in shard order (a fresh array per call: primaries
+    change across failovers, so do not cache across engine events). *)
+
 val shard : t -> int -> Service.t
+(** Shard [i]'s current primary. *)
+
+val replica_groups : t -> Replica.t array
+val replica_group : t -> int -> Replica.t
+(** Shard [i]'s replica group (trivial when [replicas = 1]). *)
 
 val owner_index : t -> role:string -> args:value list -> int
 val owner : t -> role:string -> args:value list -> Service.t
-(** The shard owning a role instance (placement introspection for tests
-    and scenarios). *)
+(** The shard (current primary) owning a role instance (placement
+    introspection for tests and scenarios). *)
 
 val request_entry :
   t ->
@@ -166,7 +199,15 @@ val validate :
   unit
 (** Validate a certificate via the router: forwarded (one
     {!Oasis_sim.Net.rpc_retry} hop) to the shard that issued it, which is
-    the only table where its record reference means anything. *)
+    the only table where its record reference means anything.
+
+    If the issuing shard stays unreachable past the forward budget, the
+    router backs off one broker heartbeat, re-resolves the shard's primary
+    (it may have failed over) and retries once; only then does it answer
+    [Error "fail-closed: ..."] — an explicit, deliberate verdict meaning
+    "could not be checked, treat as invalid", distinguishable from both a
+    transport error and a genuine validation failure.  Validation never
+    fails {e open}. *)
 
 val exit_role :
   t -> client_host:Oasis_sim.Net.host -> Cert.rmc -> ((unit, string) result -> unit) -> unit
@@ -176,7 +217,10 @@ val blacklisted : t -> role:string -> args:value list -> bool
 
 val fingerprint : t -> int64
 (** Combined fingerprint over every shard's protocol-visible state, in
-    shard order; folded into model-checker state hashes. *)
+    shard order; folded into model-checker state hashes.  For [replicas =
+    1] this is byte-for-byte the pre-replication fingerprint (persisted
+    schedules replay unchanged); for K > 1 it additionally folds every
+    member's service fingerprint and the group's {!Replica.fingerprint}. *)
 
 val durable_flush : t -> unit
-(** Force every shard's WAL to disk (test determinism helper). *)
+(** Force every replica's WAL to disk (test determinism helper). *)

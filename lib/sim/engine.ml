@@ -102,3 +102,16 @@ let run ?until t =
   done
 
 let pending t = Oasis_util.Pqueue.length t.queue
+
+let pending_tagged t prefix =
+  let plen = String.length prefix in
+  List.fold_left
+    (fun n (_, _, tm) ->
+      if
+        tm.alive
+        && String.length tm.tag >= plen
+        && String.equal (String.sub tm.tag 0 plen) prefix
+      then n + 1
+      else n)
+    0
+    (Oasis_util.Pqueue.entries t.queue)

@@ -50,6 +50,12 @@ val run : ?until:float -> t -> unit
 
 val pending : t -> int
 
+val pending_tagged : t -> string -> int
+(** Live (non-cancelled) pending events whose tag starts with the given
+    prefix.  Used by tests asserting that crash/restart cycles do not leak
+    timers: a component whose periodic timers are static has a constant
+    tagged-pending count at quiescence. *)
+
 (** {1 Single-step scheduling (model checking)} *)
 
 type event = { ev_at : float; ev_seq : int; ev_tag : string }

@@ -15,6 +15,11 @@ type t = {
   mutable w_armed : bool;  (* a timer-tick flush is scheduled *)
   mutable w_on_durable : (unit -> unit) list;  (* reverse order *)
   mutable w_appended : int;
+  mutable w_observer : (string -> unit) option;
+      (* replication ship hook: sees every payload entering the log via
+         [append] (the authoritative stream), but NOT via
+         [follower_append] — records arriving from the stream must not
+         re-enter it *)
 }
 
 let key_for file = Siphash.key_of_string ("oasis.wal:" ^ file)
@@ -76,6 +81,7 @@ let create disk ~file ?(flush_interval = 0.05) ?(flush_bytes = 16384) ?(fsync_ea
       w_armed = false;
       w_on_durable = [];
       w_appended = 0;
+      w_observer = None;
     }
   in
   (* The device already tears/loses the buffered bytes on crash; the log's
@@ -101,7 +107,7 @@ let flush t =
     Disk.fsync t.w_disk ~file:t.w_file (fun () -> List.iter (fun k -> k ()) callbacks)
   end
 
-let append t ?on_durable payload =
+let append_common t ?on_durable ~notify payload =
   let framed = frame t.w_key payload in
   Disk.append t.w_disk ~file:t.w_file framed;
   t.w_appended <- t.w_appended + 1;
@@ -109,6 +115,7 @@ let append t ?on_durable payload =
   t.w_pending_records <- t.w_pending_records + 1;
   (match on_durable with Some k -> t.w_on_durable <- k :: t.w_on_durable | None -> ());
   Stats.observe (stats t) "store.wal.append" (String.length framed);
+  (if notify then match t.w_observer with Some obs -> obs payload | None -> ());
   if t.w_fsync_each || t.w_pending_bytes >= t.w_flush_bytes then flush t
   else if not t.w_armed then begin
     (* One-shot arming: the first uncommitted append starts the clock; the
@@ -122,6 +129,10 @@ let append t ?on_durable payload =
         t.w_armed <- false;
         flush t)
   end
+
+let append t ?on_durable payload = append_common t ?on_durable ~notify:true payload
+let follower_append t payload = append_common t ~notify:false payload
+let on_append t obs = t.w_observer <- obs
 
 let sync t k =
   if t.w_pending_records = 0 then k ()

@@ -40,6 +40,19 @@ val append : t -> ?on_durable:(unit -> unit) -> string -> unit
 (** Append one record.  [on_durable] fires when the record's group commit
     completes; after a crash, callbacks for unflushed records never fire. *)
 
+val on_append : t -> (string -> unit) option -> unit
+(** Install (or clear) the {e ship observer}: it sees every payload entering
+    the log through {!append} — the authoritative record stream a
+    replication layer forwards to followers.  Payloads arriving via
+    {!follower_append} are invisible to it (they already came from the
+    stream). *)
+
+val follower_append : t -> string -> unit
+(** Append a record that arrived {e from} the stream (a replicated copy of
+    a primary's append): same framing, buffering and group commit as
+    {!append}, but the ship observer is not notified, so a follower never
+    re-ships what it was shipped. *)
+
 val flush : t -> unit
 (** Force the group commit now (no-op when nothing is pending). *)
 

@@ -41,6 +41,17 @@ let test_cross_shard_fire_exhaustive () =
   checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 100);
   checki "no violations" 0 (List.length rp.Explore.rp_violations)
 
+let test_replica_failover_exhaustive () =
+  (* The replicated club: the primary crashes mid-cascade and never
+     returns; a backup promotes itself.  Depth 8 reorders the crash
+     against the revocation, the local group commit, the log-shipping
+     batches and the quorum ack — including the orderings where the fire
+     is durable on a majority but its ack died with the primary. *)
+  let rp = Explore.explore Scenarios.replica_failover (quick_params 8) in
+  checkb "exhaustive within budget" true rp.Explore.rp_exhaustive;
+  checkb "many interleavings actually explored" true (rp.Explore.rp_runs > 50);
+  checki "no violations" 0 (List.length rp.Explore.rp_violations)
+
 (* --- soundness of the reductions: sleep sets + fingerprints must not
    change the verdict, only the work --- *)
 
@@ -158,6 +169,8 @@ let () =
           Alcotest.test_case "mssa holds over every interleaving" `Quick test_mssa_exhaustive;
           Alcotest.test_case "cross-shard fire holds over every interleaving" `Quick
             test_cross_shard_fire_exhaustive;
+          Alcotest.test_case "replica failover holds over every interleaving" `Quick
+            test_replica_failover_exhaustive;
         ] );
       ( "reduction",
         [

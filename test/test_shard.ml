@@ -16,6 +16,7 @@ module Stats = Oasis_sim.Stats
 module Prng = Oasis_util.Prng
 module Service = Oasis_core.Service
 module Shard = Oasis_core.Shard
+module Replica = Oasis_core.Replica
 module Principal = Oasis_core.Principal
 module Cert = Oasis_core.Cert
 module V = Oasis_rdl.Value
@@ -116,6 +117,22 @@ let test_ring_balance () =
         counts)
     [ 8; 16 ]
 
+(* Removing an id the ring does not hold used to be a silent no-op; it
+   must raise like [make] does, and a real removal must still work. *)
+let test_ring_remove_unknown_raises () =
+  let r = Shard.Ring.make ~shards:4 () in
+  (match Shard.Ring.remove_shard r 7 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "remove of unknown shard id must raise");
+  (match Shard.Ring.remove_shard r (-1) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "remove of negative shard id must raise");
+  let r' = Shard.Ring.remove_shard r 2 in
+  checki "real removal still works" 3 (Shard.Ring.shard_count r');
+  (match Shard.Ring.remove_shard r' 2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double removal must raise the second time")
+
 (* --- the differential harness --- *)
 
 let login_rolefile = {|
@@ -144,7 +161,7 @@ let fresh_vci =
 
 let users = [ "u0"; "u1"; "u2"; "u3"; "u4"; "u5" ]
 
-let make_world ~seed ~shards =
+let make_world ?(replicas = 1) ~seed ~shards () =
   let engine = Engine.create () in
   let net = Net.create ~seed ~latency:(Net.Fixed 0.005) engine in
   let reg = Service.create_registry () in
@@ -158,7 +175,7 @@ let make_world ~seed ~shards =
   let club =
     match
       Shard.create net reg ~name:"Club" ~rolefile:club_rolefile ~shards ~durable:true
-        ~snapshot_every:8 ~groups:[ ("staff", users) ] ()
+        ~snapshot_every:8 ~groups:[ ("staff", users) ] ~replicas ()
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "shard deploy: %s" e
@@ -270,16 +287,19 @@ let observe club creds ~u1_new ~u1_vci =
 (* One full run: setup, chaos over every shard host and the router, the
    mutation workload driven to completion during the chaos, heal,
    convergence within 3 heartbeats, then the observable table. *)
-let differential_run ~seed ~shards =
-  let w, login, club = make_world ~seed ~shards in
+let differential_run ?(replicas = 1) ~seed ~shards () =
+  let w, login, club = make_world ~replicas ~seed ~shards () in
   srun w 0.2;
   let creds = setup w login club in
   srun w 2.0;
-  (* Everyone's in; start the storm. *)
+  (* Everyone's in; start the storm.  Chaos targets every replica of every
+     shard, not just the primaries. *)
   let f = Net.fault w.w_net in
   let hosts =
     Net.host_addr (Shard.router_host club)
-    :: (Array.to_list (Shard.shards club) |> List.map (fun s -> Net.host_addr (Service.host s)))
+    :: (Array.to_list (Shard.replica_groups club)
+       |> List.concat_map (fun g ->
+              List.map (fun s -> Net.host_addr (Service.host s)) (Replica.members g)))
   in
   (* Per-host MTBF scales with the host count so the GLOBAL fault pressure
      is the same at every shard count (~3-4 crashes per window): the
@@ -399,31 +419,51 @@ let table = Alcotest.(list (pair string string))
 let test_differential_sharded_equals_unsharded () =
   for s = 1 to 25 do
     let seed = Int64.of_int (100 + s) in
-    let base, _ = differential_run ~seed ~shards:1 in
+    let base, _ = differential_run ~seed ~shards:1 () in
     Alcotest.check table
       (Printf.sprintf "seed %d: unsharded run reaches the expected state" s)
       expected_table base;
     List.iter
       (fun n ->
-        let t, _ = differential_run ~seed ~shards:n in
+        let t, _ = differential_run ~seed ~shards:n () in
         Alcotest.check table
           (Printf.sprintf "seed %d: %d-shard state equals unsharded" s n)
           base t)
       [ 2; 4; 16 ]
   done
 
+(* Same differential, replication axis: K = 3 replica groups under chaos
+   over every replica host must converge to the same observable table as
+   the unreplicated deployment — a replica (or primary) crash is invisible
+   to the workload's final state. *)
+let test_differential_replicated_equals_unreplicated () =
+  for s = 1 to 25 do
+    let seed = Int64.of_int (300 + s) in
+    let base, _ = differential_run ~seed ~shards:2 ~replicas:1 () in
+    Alcotest.check table
+      (Printf.sprintf "seed %d: K=1 run reaches the expected state" s)
+      expected_table base;
+    let repl, _ = differential_run ~seed ~shards:2 ~replicas:3 () in
+    Alcotest.check table
+      (Printf.sprintf "seed %d: K=3 state equals K=1" s)
+      base repl
+  done
+
 let test_differential_replay_identical () =
   List.iter
     (fun n ->
-      let r = differential_run ~seed:7L ~shards:n in
-      let r' = differential_run ~seed:7L ~shards:n in
+      let r = differential_run ~seed:7L ~shards:n () in
+      let r' = differential_run ~seed:7L ~shards:n () in
       checkb (Printf.sprintf "%d shards: same seed, same run" n) true (r = r'))
-    [ 1; 2; 4 ]
+    [ 1; 2; 4 ];
+  let r = differential_run ~seed:7L ~shards:2 ~replicas:3 () in
+  let r' = differential_run ~seed:7L ~shards:2 ~replicas:3 () in
+  checkb "K=3: same seed, same run" true (r = r')
 
 (* The router path itself (entry, validate, exit) in calm weather: routed
    validation answers from the issuing shard, exit revokes. *)
 let test_router_validate_and_exit () =
-  let w, login, club = make_world ~seed:5L ~shards:4 in
+  let w, login, club = make_world ~seed:5L ~shards:4 () in
   srun w 0.2;
   let creds = setup w login club in
   srun w 2.0;
@@ -447,6 +487,257 @@ let test_router_validate_and_exit () =
   in
   checkb "members spread over several shards" true (List.length owners > 1)
 
+(* --- replication (K = 3 replica groups) --- *)
+
+let is_prefix xs ys =
+  let rec go = function
+    | [], _ -> true
+    | _, [] -> false
+    | (a : string) :: at, b :: bt -> String.equal a b && go (at, bt)
+  in
+  go (xs, ys)
+
+(* The log-shipping invariant, checked at quiescence: every live member's
+   durable WAL is a prefix of its group's record stream. *)
+let assert_stream_prefixes w club label =
+  Array.iteri
+    (fun i g ->
+      let stream = Replica.stream g in
+      List.iteri
+        (fun j svc ->
+          if Net.host_up w.w_net (Service.host svc) then
+            checkb
+              (Printf.sprintf "%s: shard %d replica %d log is a stream prefix" label i j)
+              true
+              (is_prefix (Service.durable_log_records svc) stream))
+        (Replica.members g))
+    (Shard.replica_groups club)
+
+let fire_member w club creds u =
+  ignore
+    (until_ok w ("fire-" ^ u) 8 (fun k ->
+         Shard.revoke_role_instance club ~client_host:w.w_client ~revoker:creds.c_chair
+           ~role:"Member" ~args:[ V.Str u ] k))
+
+let test_log_shipping_prefix () =
+  let w, login, club = make_world ~replicas:3 ~seed:21L ~shards:2 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let quiesce () =
+    Shard.durable_flush club;
+    srun w 1.5
+  in
+  quiesce ();
+  assert_stream_prefixes w club "after setup";
+  let f = Net.fault w.w_net in
+  let g0 = Shard.replica_group club 0 in
+  (* A backup crash loses its unsynced tail; the primary's cursor rewinds
+     and re-ships.  The workload keeps running meanwhile (quorum 2/3). *)
+  let backup = Replica.member g0 ((Replica.primary_index g0 + 1) mod 3) in
+  Fault.crash f (Net.host_addr (Service.host backup));
+  fire_member w club creds "u0";
+  srun w 1.0;
+  Fault.restart f (Net.host_addr (Service.host backup));
+  quiesce ();
+  assert_stream_prefixes w club "after a backup crash cycle";
+  (* A primary crash forces a failover; the ex-primary rejoins holding a
+     possibly-divergent unacked tail, which shipping must repair. *)
+  let old_primary = Replica.primary g0 in
+  Fault.crash f (Net.host_addr (Service.host old_primary));
+  fire_member w club creds "u1";
+  srun w 3.0;
+  checkb "the crash actually failed over" true (Replica.promotions g0 >= 1);
+  Fault.restart f (Net.host_addr (Service.host old_primary));
+  quiesce ();
+  assert_stream_prefixes w club "after failover and ex-primary rejoin";
+  (* The stream carries what was acked: both fires are visible. *)
+  checkb "fire u0 survived" true (Shard.blacklisted club ~role:"Member" ~args:[ V.Str "u0" ]);
+  checkb "fire u1 survived" true (Shard.blacklisted club ~role:"Member" ~args:[ V.Str "u1" ]);
+  ignore login
+
+let test_failover_idempotent () =
+  let w, login, club = make_world ~replicas:3 ~seed:31L ~shards:1 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let g = Shard.replica_group club 0 in
+  checki "initial epoch" 0 (Replica.epoch g);
+  checki "no promotions yet" 0 (Replica.promotions g);
+  let f = Net.fault w.w_net in
+  Fault.crash f (Net.host_addr (Service.host (Replica.primary g)));
+  (* Two candidates race the same epoch (plus a literal double call):
+     exactly one CAS commits. *)
+  Replica.promote g ~member:1 ~from_epoch:0;
+  Replica.promote g ~member:1 ~from_epoch:0;
+  Replica.promote g ~member:2 ~from_epoch:0;
+  srun w 3.0;
+  checki "exactly one promotion committed" 1 (Replica.promotions g);
+  checki "epoch bumped exactly once" 1 (Replica.epoch g);
+  checkb "replay finished" true (Replica.ready g);
+  checkb "a backup took over" true (Replica.primary_index g <> 0);
+  (* A late promotion against the dead epoch is a no-op. *)
+  Replica.promote g ~member:2 ~from_epoch:0;
+  srun w 2.0;
+  checki "stale-epoch promotion is a no-op" 1 (Replica.promotions g);
+  checki "epoch unchanged" 1 (Replica.epoch g);
+  (* And the promoted primary actually serves. *)
+  let _, vci, m = List.find (fun (u, _, _) -> u = "u2") creds.c_members in
+  let res = ref None in
+  Shard.validate club ~client_host:w.w_client ~client:vci m (fun r -> res := Some r);
+  srun w 3.0;
+  checkb "validates at the new primary" true (!res = Some (Ok ()));
+  ignore login
+
+(* PR 1's bug class, replication edition: crash/restart/failover cycles
+   must not leave extra timers armed.  Measured at a quiesced state (all
+   replicas down, in-flight one-shots drained) before and after the
+   cycles: the per-host armed-timer counts must be identical. *)
+let test_failover_timer_hygiene () =
+  let w, login, club = make_world ~replicas:3 ~seed:41L ~shards:1 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let g = Shard.replica_group club 0 in
+  let f = Net.fault w.w_net in
+  let hosts = List.map Service.host (Replica.members g) in
+  let measure () =
+    List.iter (fun h -> Fault.crash f (Net.host_addr h)) hosts;
+    srun w 3.0;
+    let counts =
+      List.concat_map
+        (fun h ->
+          let n = Net.host_name h in
+          List.map (fun p -> Engine.pending_tagged w.w_engine (p ^ n)) [ "t:"; "s:"; "d:" ])
+        hosts
+    in
+    List.iter (fun h -> Fault.restart f (Net.host_addr h)) hosts;
+    srun w 3.0;
+    counts
+  in
+  let base = measure () in
+  for _ = 1 to 3 do
+    Fault.crash f (Net.host_addr (Service.host (Replica.primary g)));
+    srun w 2.0;
+    fire_member w club creds "u5";
+    List.iter
+      (fun h -> if not (Fault.up f (Net.host_addr h)) then Fault.restart f (Net.host_addr h))
+      hosts;
+    srun w 2.0;
+    ignore
+      (until_ok w "rehire-u5" 8 (fun k ->
+           Shard.reinstate_role_instance club ~client_host:w.w_client ~revoker:creds.c_chair
+             ~role:"Member" ~args:[ V.Str "u5" ] k))
+  done;
+  let after = measure () in
+  checkb
+    (Printf.sprintf "armed-timer counts are crash-invariant (%s -> %s)"
+       (String.concat "," (List.map string_of_int base))
+       (String.concat "," (List.map string_of_int after)))
+    true (base = after);
+  ignore login
+
+(* Satellite regression: with the owning shard down, routed validation
+   must answer an explicit fail-closed verdict, not leak the transport's
+   "timeout" giveup — and must recover once the shard does. *)
+let test_validate_fail_closed () =
+  let w, login, club = make_world ~seed:51L ~shards:2 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let _, u4, m4 = List.find (fun (u, _, _) -> u = "u4") creds.c_members in
+  let issuer =
+    match
+      Array.to_seq (Shard.shards club)
+      |> Seq.find (fun s -> String.equal (Service.name s) m4.Cert.service)
+    with
+    | Some s -> s
+    | None -> Alcotest.fail "no shard issued m4"
+  in
+  let f = Net.fault w.w_net in
+  Fault.crash f (Net.host_addr (Service.host issuer));
+  let res = ref None in
+  Shard.validate club ~client_host:w.w_client ~client:u4 m4 (fun r -> res := Some r);
+  srun w 8.0;
+  (match !res with
+  | Some (Error e) ->
+      checkb
+        (Printf.sprintf "explicit fail-closed verdict (got %S)" e)
+        true
+        (String.length e >= 11 && String.equal (String.sub e 0 11) "fail-closed")
+  | Some (Ok ()) -> Alcotest.fail "validated against a dead shard"
+  | None -> Alcotest.fail "validate never answered");
+  Fault.restart f (Net.host_addr (Service.host issuer));
+  srun w 3.0;
+  let res2 = ref None in
+  Shard.validate club ~client_host:w.w_client ~client:u4 m4 (fun r -> res2 := Some r);
+  srun w 3.0;
+  checkb "validates again after the shard heals" true (!res2 = Some (Ok ()));
+  ignore login
+
+(* The tentpole's headline: killing one replica of each shard mid-workload
+   loses nothing acked and keeps validation down for at most one (service)
+   heartbeat. *)
+let test_single_replica_crash_costs_nothing () =
+  let w, login, club = make_world ~replicas:3 ~seed:61L ~shards:2 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  fire_member w club creds "u0";
+  srun w 5.0;
+  let obs () =
+    List.map
+      (fun (u, vci, m) -> ("m." ^ u, status_at_issuer club ~client:vci m))
+      creds.c_members
+    @ List.map
+        (fun (u, vci, e) -> ("e." ^ u, status_at_issuer club ~client:vci e))
+        creds.c_editors
+    @ List.map
+        (fun u ->
+          ("bl." ^ u, string_of_bool (Shard.blacklisted club ~role:"Member" ~args:[ V.Str u ])))
+        users
+  in
+  let before = obs () in
+  let f = Net.fault w.w_net in
+  let g0 = Shard.replica_group club 0 and g1 = Shard.replica_group club 1 in
+  (* One replica of EACH shard: the primary of shard 0 (forcing a
+     failover) and a backup of shard 1 (which must cost nothing at all). *)
+  let crash_t = Engine.now w.w_engine in
+  Fault.crash f (Net.host_addr (Service.host (Replica.primary g0)));
+  Fault.crash f
+    (Net.host_addr (Service.host (Replica.member g1 ((Replica.primary_index g1 + 1) mod 3))));
+  (* Probe with a certificate issued by shard 0 — the failover path.
+     Unavailability = time until a freshly issued validate answers Ok
+     PROMPTLY (within 0.1 s, so the answer cannot be the product of the
+     router's internal backoff-retry); must be within one service
+     heartbeat (1.0 s) of the crash. *)
+  let _, pvci, pm =
+    List.find (fun (_, _, m) -> String.equal m.Cert.service "Club#0") creds.c_members
+  in
+  let ok_starts = ref [] in
+  for _ = 1 to 60 do
+    let t0 = Engine.now w.w_engine in
+    Shard.validate club ~client_host:w.w_client ~client:pvci pm (fun r ->
+        if r = Ok () && Engine.now w.w_engine -. t0 <= 0.1 then ok_starts := t0 :: !ok_starts);
+    srun w 0.05
+  done;
+  srun w 2.0;
+  let gap =
+    match List.sort compare !ok_starts with
+    | [] -> Alcotest.fail "validation never came back promptly"
+    | first :: _ -> first -. crash_t
+  in
+  checkb (Printf.sprintf "validation gap %.2fs within one heartbeat" gap) true (gap <= 1.0);
+  (* Acked operations survived: the observable table is unchanged. *)
+  srun w 3.0;
+  Alcotest.check table "no acked state lost across the crashes" before (obs ());
+  (* And the group still takes writes (quorum 2/3 on both shards). *)
+  fire_member w club creds "u3";
+  srun w 3.0;
+  checkb "post-crash fire acked and applied" true
+    (Shard.blacklisted club ~role:"Member" ~args:[ V.Str "u3" ]);
+  ignore login
+
 let () =
   Alcotest.run "shard"
     [
@@ -456,15 +747,31 @@ let () =
           Alcotest.test_case "bounded movement on add" `Quick test_ring_movement_on_add;
           Alcotest.test_case "bounded movement on remove" `Quick test_ring_movement_on_remove;
           Alcotest.test_case "balance within 2x ideal" `Quick test_ring_balance;
+          Alcotest.test_case "remove of unknown shard raises" `Quick
+            test_ring_remove_unknown_raises;
         ] );
       ( "router",
         [
           Alcotest.test_case "routed validate and exit" `Quick test_router_validate_and_exit;
+          Alcotest.test_case "validate fails closed while owner is down" `Quick
+            test_validate_fail_closed;
+        ] );
+      ( "replication",
+        [
+          Alcotest.test_case "log shipping keeps prefix invariant" `Quick
+            test_log_shipping_prefix;
+          Alcotest.test_case "failover is epoch-idempotent" `Quick test_failover_idempotent;
+          Alcotest.test_case "failover leaves no timers armed" `Quick
+            test_failover_timer_hygiene;
+          Alcotest.test_case "one replica crash per shard costs nothing" `Quick
+            test_single_replica_crash_costs_nothing;
         ] );
       ( "differential",
         [
           Alcotest.test_case "sharded = unsharded under chaos (25 seeds, N in {2,4,16})" `Slow
             test_differential_sharded_equals_unsharded;
+          Alcotest.test_case "replicated = unreplicated under chaos (25 seeds, K in {1,3})"
+            `Slow test_differential_replicated_equals_unreplicated;
           Alcotest.test_case "replay identity" `Quick test_differential_replay_identical;
         ] );
     ]
