@@ -226,7 +226,16 @@ let rec ship_to t j =
                            dead epoch's junk.  Truncate. *)
                         repair (Array.to_list (Array.sub m.m_log 0 (start + n)))
                       else begin
-                        let have = m.m_have in
+                        (* Ack only the content-verified prefix [0, start+n):
+                           when our log runs past the shipped batch but the
+                           batch stops short of the stream's end, the tail
+                           beyond [start+n] has not been compared yet and may
+                           be a dead epoch's junk.  Acking [m_have] here would
+                           mark those positions quorum-durable, advance the
+                           primary's cursor past them, and leave the
+                           divergence unrepaired forever — the quorum
+                           intersection argument dies with it. *)
+                        let have = min m.m_have (start + n) in
                         (* The ack rides the backup's own group commit: an
                            acked record is durable AT THIS MEMBER, not
                            merely received. *)
@@ -529,9 +538,16 @@ let fp_key = Oasis_util.Siphash.key_of_string "oasis.replica.fingerprint"
 let fingerprint t =
   let b = Buffer.create 128 in
   Buffer.add_string b
-    (Printf.sprintf "%s|e%d|p%d|r%b|c%d|d%d" t.g_name t.g_epoch t.g_primary t.g_ready
-       t.g_count t.g_local_durable);
+    (Printf.sprintf "%s|e%d|p%d|r%b|c%d|d%d|w%d" t.g_name t.g_epoch t.g_primary t.g_ready
+       t.g_count t.g_local_durable
+       (List.length t.g_waiters));
+  (* In-flight progress is state: two worlds with equal cursors but one
+     pending promotion (or ship RPC, or un-fired ack waiter) reach
+     different futures, and hashing them as identical would let the model
+     checker prune interleavings that differ only in failover progress. *)
   Array.iter
-    (fun m -> Buffer.add_string b (Printf.sprintf ";a%d,h%d" m.m_acked m.m_have))
+    (fun m ->
+      Buffer.add_string b
+        (Printf.sprintf ";a%d,h%d,i%b,p%b" m.m_acked m.m_have m.m_inflight m.m_promoting))
     t.g_members;
   Oasis_util.Siphash.hash fp_key (Buffer.contents b)

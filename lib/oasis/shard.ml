@@ -289,12 +289,20 @@ let validate t ~client_host ~client ?need_role cert k =
               Net.rpc_retry t.sh_net ~category:"shard.validate.fwd" ~timeout:0.5 ~attempts:2
                 ~backoff:0.2 ~src:t.sh_router ~dst:(Service.host svc)
                 (fun () ->
-                  match Service.validate svc ~client ?need_role cert with
-                  | Ok () -> Ok ()
-                  | Error f -> Error (Format.asprintf "%a" Service.pp_failure f))
+                  (* The handler wraps the whole verdict — including a
+                     validation failure — in [Ok], so by construction the
+                     only [Error _] the continuation can see is the
+                     transport layer's giveup.  String-matching the
+                     "timeout" sentinel here would silently misroute any
+                     future [pp_failure] value that happened to collide
+                     with it. *)
+                  Ok
+                    (match Service.validate svc ~client ?need_role cert with
+                    | Ok () -> Ok ()
+                    | Error f -> Error (Format.asprintf "%a" Service.pp_failure f)))
                 (function
-                  | Error "timeout" -> backoff_or_fail ()
-                  | r -> reply r)
+                  | Ok verdict -> reply verdict
+                  | Error _ -> backoff_or_fail ())
           in
           attempt 1)
     k

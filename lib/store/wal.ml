@@ -148,11 +148,23 @@ let truncate t =
   Disk.truncate t.w_disk ~file:t.w_file
 
 let rewrite t records k =
+  (* Buffered APPENDS may legally race a rewrite (the compacting callers
+     re-include them in [records] via their own tail bookkeeping, and
+     [Disk.write_atomic] preserves bytes appended while the replace is in
+     flight), but buffered DURABILITY CALLBACKS may not: the rewrite
+     forgets the commit bookkeeping, so a pending callback would be a
+     client ack silently dropped.  Callers with commit traffic
+     ([Replica]'s repair/adoption paths) must [sync] first; surface a
+     violation instead of losing the ack. *)
+  if t.w_on_durable <> [] then
+    invalid_arg
+      (Printf.sprintf "Wal.rewrite %s: %d durability callback(s) pending (sync first)"
+         t.w_file
+         (List.length t.w_on_durable));
   let b = Buffer.create 1024 in
   List.iter (fun r -> Buffer.add_string b (frame t.w_key r)) records;
   t.w_pending_bytes <- 0;
   t.w_pending_records <- 0;
-  t.w_on_durable <- [];
   Disk.write_atomic t.w_disk ~file:t.w_file (Buffer.contents b) k
 
 let recover t =

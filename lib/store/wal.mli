@@ -66,7 +66,11 @@ val truncate : t -> unit
 val rewrite : t -> string list -> (unit -> unit) -> unit
 (** Atomically replace the log's contents with exactly [records]
     (compaction).  Crash-safe: until the atomic write completes the old log
-    remains. *)
+    remains.  Buffered appends may race a rewrite (compacting callers
+    re-include them in [records]; appends landing while the replace is in
+    flight survive it), but pending {!append}[ ~on_durable] callbacks may
+    not — their commit bookkeeping would be forgotten, dropping acks — so
+    the call raises [Invalid_argument] unless the caller {!sync}ed first. *)
 
 val appended : t -> int
 (** Records appended over this log's lifetime (not reset by truncation). *)

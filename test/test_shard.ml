@@ -556,6 +556,66 @@ let test_log_shipping_prefix () =
   checkb "fire u1 survived" true (Shard.blacklisted club ~role:"Member" ~args:[ V.Str "u1" ]);
   ignore login
 
+(* The ack-overrun bug: shipping verifies content batch by batch (256
+   records), and the no-divergence branch used to ack the backup's WHOLE
+   log length whenever the log ran past the shipped batch — so a rejoining
+   ex-primary whose dead-epoch tail diverged only beyond the first batch
+   was marked quorum-durable for junk positions, shipping stopped short,
+   and the divergence survived forever.  Build that world directly: pad
+   every log past one ship batch with ignorable records (unknown tags are
+   skipped by replay, exactly like epoch barriers), give the primary a
+   divergent never-shipped tail on top, crash it, fail over (the new
+   stream = padded log + its barrier, > 256 records), rejoin the
+   ex-primary — shipping must walk past batch #1, find the divergence and
+   repair the tail back to a true stream prefix. *)
+let test_repair_divergence_past_first_batch () =
+  let w, login, club = make_world ~replicas:3 ~seed:71L ~shards:1 () in
+  srun w 0.2;
+  let creds = setup w login club in
+  srun w 2.0;
+  let g = Shard.replica_group club 0 in
+  let quiesce () =
+    Shard.durable_flush club;
+    srun w 1.5
+  in
+  quiesce ();
+  let base = Replica.stream g in
+  let pad = List.init 300 (fun i -> Printf.sprintf "P\x1fpad%d" i) in
+  let junk = List.init 30 (fun i -> Printf.sprintf "D\x1fjunk%d" i) in
+  let padded = base @ pad in
+  checkb "padded history exceeds one ship batch" true (List.length padded > 256);
+  let old_primary = Replica.primary g in
+  let rewrote = ref 0 in
+  List.iteri
+    (fun j svc ->
+      let log = if j = Replica.primary_index g then padded @ junk else padded in
+      Service.durable_log_rewrite svc log (fun () -> incr rewrote))
+    (Replica.members g);
+  srun w 2.0;
+  checki "all three logs rewritten" 3 !rewrote;
+  let f = Net.fault w.w_net in
+  Fault.crash f (Net.host_addr (Service.host old_primary));
+  srun w 3.0;
+  checkb "a backup took over" true (Replica.promotions g >= 1 && Replica.ready g);
+  checkb "the new stream runs past one ship batch" true
+    (List.length (Replica.stream g) > 256);
+  Fault.restart f (Net.host_addr (Service.host old_primary));
+  srun w 3.0;
+  quiesce ();
+  let rejoined = Service.durable_log_records old_primary in
+  checkb "ex-primary's junk tail was repaired away" true
+    (not (List.exists (fun r -> String.length r >= 1 && r.[0] = 'D') rejoined));
+  checkb "ex-primary's log is a stream prefix again" true
+    (is_prefix rejoined (Replica.stream g));
+  (* And the group still quorum-acks new writes over the repaired logs. *)
+  fire_member w club creds "u4";
+  srun w 3.0;
+  checkb "post-repair fire acked and applied" true
+    (Shard.blacklisted club ~role:"Member" ~args:[ V.Str "u4" ]);
+  quiesce ();
+  assert_stream_prefixes w club "after repair and new appends";
+  ignore login
+
 let test_failover_idempotent () =
   let w, login, club = make_world ~replicas:3 ~seed:31L ~shards:1 () in
   srun w 0.2;
@@ -760,6 +820,8 @@ let () =
         [
           Alcotest.test_case "log shipping keeps prefix invariant" `Quick
             test_log_shipping_prefix;
+          Alcotest.test_case "divergence past the first ship batch is repaired, not acked"
+            `Quick test_repair_divergence_past_first_batch;
           Alcotest.test_case "failover is epoch-idempotent" `Quick test_failover_idempotent;
           Alcotest.test_case "failover leaves no timers armed" `Quick
             test_failover_timer_hygiene;

@@ -114,6 +114,30 @@ let test_wal_crash_recovers_synced_prefix () =
      losses, or the checksum scan is untested. *)
   checkb "some seed tore the final record" true (!torn >= 1)
 
+(* A rewrite over buffered plain appends is legal (compacting callers
+   re-include them in the new contents), but a rewrite over a pending
+   [on_durable] callback would silently drop a client ack — it must raise
+   instead, and go through again once the buffer is synced. *)
+let test_wal_rewrite_refuses_pending_callbacks () =
+  let w = make_dworld () in
+  let wal = Wal.create w.disk ~file:"log" () in
+  Wal.append wal "keep-1";
+  Wal.rewrite wal [ "keep-1" ] (fun () -> ());
+  drun w 1.0;
+  checkb "rewrite over a plain buffered append is legal" true (Wal.recover wal = [ "keep-1" ]);
+  Wal.append wal ~on_durable:(fun () -> ()) "acked";
+  (match Wal.rewrite wal [ "other" ] (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rewrite over a pending durability callback must raise");
+  let synced = ref false in
+  Wal.sync wal (fun () -> synced := true);
+  drun w 1.0;
+  checkb "sync completed" true !synced;
+  Wal.rewrite wal [ "fresh" ] (fun () -> ());
+  drun w 1.0;
+  checkb "rewrite goes through once the buffer is drained" true
+    (Wal.recover wal = [ "fresh" ])
+
 (* Property: the recovery scan is total and prefix-stable under arbitrary
    single-byte corruption and truncation of the framed bytes. *)
 let test_wal_decoder_fuzz () =
@@ -405,6 +429,8 @@ let () =
             test_wal_durability_callback_after_crash;
           Alcotest.test_case "crash recovers a checksummed prefix" `Quick
             test_wal_crash_recovers_synced_prefix;
+          Alcotest.test_case "rewrite refuses pending durability callbacks" `Quick
+            test_wal_rewrite_refuses_pending_callbacks;
           Alcotest.test_case "decoder total under corruption (fuzz)" `Quick test_wal_decoder_fuzz;
         ] );
       ( "snapshot",
