@@ -705,6 +705,288 @@ let shard_cmd =
   Cmd.v (Cmd.info "shard" ~doc ~man)
     Term.(const run $ shards $ vnodes $ keys $ population $ moved $ json)
 
+(* --- serve / client subcommands: the sharded plane on the Unix backend --- *)
+
+(* The deployment convention shared by [serve], [client] and the CI smoke:
+   a port base B gives the router B and shard I the port B+1+I; shard I's
+   wire (and sim-host) name is [h.<name>.sI], matching the in-process
+   plane's host naming, and its service name is [<name>#I].  Service names
+   are distinct per process on purpose: credential-record references are
+   table-relative, so a certificate presented to the wrong shard must fail
+   closed (Wrong_context / unknown handle), never alias. *)
+
+let serve_rolefile =
+  {|
+Admin <-
+Login(u) <-
+User(u) <- Login(u)* |>* Admin
+|}
+
+let wire_shard_host name i = Printf.sprintf "h.%s.s%d" name i
+let wire_shard_port base i = base + 1 + i
+
+let serve_cmd =
+  let module Backend = Oasis_backend.Backend in
+  let module Backend_unix = Oasis_backend.Backend_unix in
+  let module Net = Oasis_sim.Net in
+  let module Service = Oasis_core.Service in
+  let module Remote = Oasis_core.Remote in
+  let module Shard = Oasis_core.Shard in
+  let role =
+    Arg.(
+      value
+      & opt (enum [ ("shard", `Shard); ("router", `Router) ]) `Shard
+      & info [ "role" ] ~docv:"ROLE" ~doc:"Process role: $(b,shard) or $(b,router)")
+  in
+  let id = Arg.(value & opt int 0 & info [ "id" ] ~docv:"I" ~doc:"Shard id (shard role)") in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"Shard count (router role)")
+  in
+  let port_base =
+    Arg.(
+      value & opt int 7640
+      & info [ "port-base" ] ~docv:"B"
+          ~doc:"Loopback port base: router at B, shard I at B+1+I")
+  in
+  let name_a =
+    Arg.(value & opt string "Gate" & info [ "name" ] ~docv:"NAME" ~doc:"Logical service name")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR" ~doc:"Durable-state directory (shard role)")
+  in
+  let rolefile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rolefile" ] ~docv:"FILE" ~doc:"RDL rolefile (default: built-in Admin/User)")
+  in
+  let vnodes =
+    Arg.(value & opt int 64 & info [ "vnodes" ] ~docv:"V" ~doc:"Ring virtual nodes per shard")
+  in
+  let run role id shards port_base name data_dir rolefile vnodes =
+    let rolefile =
+      match rolefile with Some f -> read_input f | None -> serve_rolefile
+    in
+    let b = Backend_unix.create ?data_dir () in
+    let backend = Backend_unix.pack b in
+    let net = Backend.net backend in
+    match role with
+    | `Router ->
+        let host = Net.add_host net "router" in
+        let ring = Shard.Ring.make ~vnodes ~shards () in
+        let shard_names = Array.init shards (wire_shard_host name) in
+        Array.iteri
+          (fun i peer ->
+            Backend_unix.peer b ~name:peer ~port:(wire_shard_port port_base i))
+          shard_names;
+        let _router = Remote.serve_router net host ~ring ~shards:shard_names in
+        let port = Backend_unix.listen b ~port:port_base () in
+        Printf.printf "router: %d shards of %s, listening on %d\n%!" shards name port;
+        Backend.run backend;
+        0
+    | `Shard -> (
+        let host = Net.add_host net (wire_shard_host name id) in
+        let disk = Backend.disk backend host in
+        let reg = Service.create_registry () in
+        match
+          Service.create net host reg
+            ~name:(Printf.sprintf "%s#%d" name id)
+            ~rolefile_id:name ~rolefile ~compound_certificates:false ~disk ()
+        with
+        | Error e ->
+            Printf.eprintf "shard %d: %s\n" id e;
+            1
+        | Ok svc ->
+            let _server = Remote.serve_shard net svc ~shard_id:id in
+            let port = Backend_unix.listen b ~port:(wire_shard_port port_base id) () in
+            Printf.printf "shard %d (%s): listening on %d, data in %s\n%!" id
+              (Service.name svc) port (Backend_unix.data_dir b);
+            Backend.run backend;
+            0)
+  in
+  let doc = "Run one process of the sharded plane on the Unix backend (real sockets/disks)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a single shard (or the router) of the sharded OASIS credential plane as a \
+         real process: wall-clock timers, loopback TCP with the WAL's length+SipHash \
+         framing, and durable state on real files with fsync.  The protocol modules are \
+         the same ones the simulator runs — only the backend differs.";
+      `P
+        "A 2-shard deployment on one machine:";
+      `Pre
+        "  oasis_cli serve --role shard --id 0 &\n\
+        \  oasis_cli serve --role shard --id 1 &\n\
+        \  oasis_cli serve --role router --shards 2 &\n\
+        \  oasis_cli client smoke";
+    ]
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run $ role $ id $ shards $ port_base $ name_a $ data_dir $ rolefile $ vnodes)
+
+let client_cmd =
+  let module Backend = Oasis_backend.Backend in
+  let module Backend_unix = Oasis_backend.Backend_unix in
+  let module Net = Oasis_sim.Net in
+  let module Remote = Oasis_core.Remote in
+  let module V = Oasis_rdl.Value in
+  let port_base =
+    Arg.(
+      value & opt int 7640
+      & info [ "port-base" ] ~docv:"B" ~doc:"Loopback port base the deployment uses")
+  in
+  let op =
+    Arg.(
+      required
+      & pos 0 (some (enum
+           [ ("ping", `Ping); ("place", `Place); ("bootstrap", `Bootstrap);
+             ("issue", `Issue); ("validate", `Validate); ("fire", `Fire);
+             ("rehire", `Rehire); ("exit", `Exit); ("smoke", `Smoke) ])) None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,ping), $(b,place), $(b,bootstrap), $(b,issue), $(b,validate), \
+             $(b,fire), $(b,rehire), $(b,exit), $(b,smoke)")
+  in
+  let client =
+    Arg.(value & opt string "alice" & info [ "client" ] ~docv:"NAME" ~doc:"Client identity")
+  in
+  let role_a =
+    Arg.(value & opt string "User" & info [ "target-role" ] ~docv:"ROLE" ~doc:"Role name")
+  in
+  let args_a =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"S" ~doc:"Role argument (repeatable)")
+  in
+  let roles_a =
+    Arg.(
+      value & opt_all string []
+      & info [ "bootstrap-role" ] ~docv:"ROLE" ~doc:"Bootstrap role (repeatable)")
+  in
+  let handle_a =
+    Arg.(value & opt (some string) None & info [ "handle" ] ~docv:"H" ~doc:"Certificate handle")
+  in
+  let shard_a =
+    Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc:"Bootstrap placement")
+  in
+  let timeout_a =
+    Arg.(value & opt float 15.0 & info [ "timeout" ] ~docv:"S" ~doc:"Give up after S seconds")
+  in
+  let run port_base op client role args roles handle shard timeout =
+    let b = Backend_unix.create () in
+    let backend = Backend_unix.pack b in
+    let net = Backend.net backend in
+    let host = Net.add_host net "client" in
+    Backend_unix.peer b ~name:"router" ~port:port_base;
+    let c = Remote.Client.create net host ~router:"router" in
+    let args = List.map (fun s -> V.Str s) args in
+    let rc = ref 3 (* timed out *) in
+    let finish code =
+      rc := code;
+      Backend.stop backend
+    in
+    let done_ok pp = function
+      | Ok v ->
+          pp v;
+          finish 0
+      | Error e ->
+          Printf.eprintf "error: %s\n%!" e;
+          finish 1
+    in
+    let need_handle k =
+      match handle with
+      | Some h -> k h
+      | None ->
+          Printf.eprintf "error: --handle required\n%!";
+          finish 2
+    in
+    (match op with
+    | `Ping -> Remote.Client.ping c (done_ok (fun () -> print_endline "pong"))
+    | `Place ->
+        Remote.Client.place c ~role ~args (done_ok (fun s -> Printf.printf "shard %d\n" s))
+    | `Bootstrap ->
+        let roles = if roles = [] then [ "Admin" ] else roles in
+        Remote.Client.bootstrap c ?shard ~client ~roles ~args
+          (done_ok (fun h -> print_endline h))
+    | `Issue ->
+        let creds = match handle with Some h -> [ h ] | None -> [] in
+        Remote.Client.issue c ~client ~role ~args ~creds (done_ok print_endline)
+    | `Validate ->
+        need_handle (fun handle ->
+            Remote.Client.validate c ~client ~handle ~need_role:role
+              (done_ok (fun () -> print_endline "valid")))
+    | `Fire ->
+        need_handle (fun revoker ->
+            Remote.Client.fire c ~revoker ~role ~args
+              (done_ok (fun n -> Printf.printf "revoked %d\n" n)))
+    | `Rehire ->
+        need_handle (fun revoker ->
+            Remote.Client.rehire c ~revoker ~role ~args
+              (done_ok (fun () -> print_endline "reinstated")))
+    | `Exit ->
+        need_handle (fun handle ->
+            Remote.Client.exit_role c ~handle (done_ok (fun () -> print_endline "exited")))
+    | `Smoke ->
+        (* End-to-end over the wire: place -> colocated bootstrap -> issue
+           -> validate -> fire -> validate fails (one revocation converges,
+           durable at the owning shard).  Each step chains on the last. *)
+        let u = client in
+        let fail step e =
+          Printf.eprintf "smoke %s: %s\n%!" step e;
+          finish 1
+        in
+        Remote.Client.ping c (function
+          | Error e -> fail "ping" e
+          | Ok () ->
+              Remote.Client.place c ~role:"User" ~args:[ V.Str u ] (function
+                | Error e -> fail "place" e
+                | Ok owner ->
+                    Remote.Client.bootstrap c ~shard:owner ~client ~roles:[ "Admin" ]
+                      ~args:[] (function
+                      | Error e -> fail "bootstrap" e
+                      | Ok admin ->
+                          Remote.Client.bootstrap c ~shard:owner ~client
+                            ~roles:[ "Login" ] ~args:[ V.Str u ] (function
+                      | Error e -> fail "bootstrap-login" e
+                      | Ok login ->
+                          Remote.Client.issue c ~client ~role:"User" ~args:[ V.Str u ]
+                            ~creds:[ login ] (function
+                            | Error e -> fail "issue" e
+                            | Ok user ->
+                                Remote.Client.validate c ~client ~handle:user
+                                  ~need_role:"User" (function
+                                  | Error e -> fail "validate" e
+                                  | Ok () ->
+                                      Remote.Client.fire c ~revoker:admin ~role:"User"
+                                        ~args:[ V.Str u ] (function
+                                        | Error e -> fail "fire" e
+                                        | Ok n ->
+                                            Remote.Client.validate c ~client ~handle:user
+                                              (function
+                                              | Ok () ->
+                                                  fail "post-fire validate"
+                                                    "certificate still valid after fire"
+                                              | Error _ ->
+                                                  Printf.printf
+                                                    "smoke ok: shard %d, revoked %d, \
+                                                     validation now refused\n\
+                                                     %!"
+                                                    owner n;
+                                                  finish 0)))))))));
+    let module Engine = Oasis_sim.Engine in
+    let engine = Backend.engine backend in
+    Engine.schedule engine ~delay:timeout (fun () -> Engine.stop engine);
+    Backend.run backend;
+    !rc
+  in
+  let doc = "Drive a running [serve] deployment over loopback" in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ port_base $ op $ client $ role_a $ args_a $ roles_a $ handle_a $ shard_a
+      $ timeout_a)
+
 (* --- demo subcommand --- *)
 
 let demo_cmd =
@@ -778,5 +1060,7 @@ let () =
             idl_cmd;
             explore_cmd;
             shard_cmd;
+            serve_cmd;
+            client_cmd;
             demo_cmd;
           ]))

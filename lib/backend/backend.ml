@@ -1,0 +1,22 @@
+module type S = sig
+  val name : string
+  val clock_domain : [ `Sim | `Wall ]
+  val engine : Oasis_sim.Engine.t
+  val net : Oasis_sim.Net.t
+  val disk : Oasis_sim.Net.host -> Oasis_store.Disk.t
+  val run : ?until:float -> unit -> unit
+  val stop : unit -> unit
+end
+
+type t = (module S)
+
+let name (module B : S) = B.name
+let clock_domain (module B : S) = B.clock_domain
+
+let clock_domain_label b = match clock_domain b with `Sim -> "sim" | `Wall -> "wall"
+
+let engine (module B : S) = B.engine
+let net (module B : S) = B.net
+let disk (module B : S) host = B.disk host
+let run ?until (module B : S) = B.run ?until ()
+let stop (module B : S) = B.stop ()

@@ -1,0 +1,20 @@
+(** The deterministic discrete-event backend — [lib/sim]/[lib/store]
+    packaged behind the {!Backend.S} signature.
+
+    This is a pure repackaging of the pre-backend construction idiom
+    ([Engine.create] / [Net.create] / [Disk.create]); semantics are
+    byte-identical, which the sim-ordering regression in
+    [test/test_backend.ml] (replaying a persisted model-checking schedule)
+    pins down. *)
+
+val create :
+  ?seed:int64 ->
+  ?latency:Oasis_sim.Net.latency ->
+  ?fsync_latency:float ->
+  ?write_bandwidth:float ->
+  ?read_bandwidth:float ->
+  unit ->
+  Backend.t
+(** Defaults are exactly {!Oasis_sim.Net.create}'s and
+    {!Oasis_store.Disk.create}'s.  {!Backend.S.disk} memoizes one device
+    per host. *)

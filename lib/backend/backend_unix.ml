@@ -1,0 +1,457 @@
+module Engine = Oasis_sim.Engine
+module Net = Oasis_sim.Net
+module Disk = Oasis_store.Disk
+module Siphash = Oasis_util.Siphash
+
+(* ------------------------------------------------------------------ *)
+(* Wire framing: the WAL's length+SipHash idiom (lib/store/wal.ml),    *)
+(* applied to a TCP byte stream.  A frame is                           *)
+(*   [length: 8 hex][SipHash-2-4 of payload: 16 hex][payload]          *)
+(* and the checksum provides integrity against a desynchronized or     *)
+(* truncated stream, not secrecy.                                      *)
+(* ------------------------------------------------------------------ *)
+
+let frame_key = Siphash.key_of_string "oasis.wal:tcp"
+
+let max_frame = 1 lsl 26 (* 64 MiB: anything larger is a desynced stream *)
+
+let frame payload =
+  Printf.sprintf "%08x%s%s" (String.length payload) (Siphash.hash_hex frame_key payload) payload
+
+let hex_val = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | _ -> -1
+
+exception Corrupt_stream
+
+(* One frame from [buf] starting at [off], if complete: (payload, next_off).
+   Raises [Corrupt_stream] on a bad header or checksum — the connection is
+   beyond recovery and must be dropped. *)
+let decode_frame buf off =
+  let total = Buffer.length buf in
+  if off + 24 > total then None
+  else begin
+    let len =
+      let rec go i acc =
+        if i = 8 then acc
+        else
+          let v = hex_val (Buffer.nth buf (off + i)) in
+          if v < 0 then raise Corrupt_stream else go (i + 1) ((acc * 16) + v)
+      in
+      go 0 0
+    in
+    if len > max_frame then raise Corrupt_stream
+    else if off + 24 + len > total then None
+    else
+      let sum = Buffer.sub buf (off + 8) 16 in
+      let payload = Buffer.sub buf (off + 24) len in
+      if String.equal (Siphash.hash_hex frame_key payload) sum then Some (payload, off + 24 + len)
+      else raise Corrupt_stream
+  end
+
+(* Length-prefixed field packing for the RPC envelope (8-bit clean). *)
+let enc_fields fields =
+  let b = Buffer.create 128 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Printf.sprintf "%08x" (String.length f));
+      Buffer.add_string b f)
+    fields;
+  Buffer.contents b
+
+let dec_fields s =
+  let total = String.length s in
+  let rec go off acc =
+    if off = total then Some (List.rev acc)
+    else if off + 8 > total then None
+    else
+      let len =
+        let rec h i acc =
+          if i = 8 then acc
+          else
+            let v = hex_val s.[off + i] in
+            if v < 0 then -1 else h (i + 1) ((acc * 16) + v)
+        in
+        h 0 0
+      in
+      if len < 0 || off + 8 + len > total then None
+      else go (off + 8 + len) (String.sub s (off + 8) len :: acc)
+  in
+  go 0 []
+
+(* ------------------------------------------------------------------ *)
+(* Connections                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;  (* received, not yet decoded *)
+  mutable c_off : int;  (* decoded prefix of c_buf *)
+  mutable c_alive : bool;
+}
+
+type t = {
+  b_engine : Engine.t Lazy.t ref;
+      (* tied after Engine.create because the source closes over [t] *)
+  mutable b_net : Net.t option;
+  b_t0 : float;
+  b_data_dir : string;
+  mutable b_listeners : Unix.file_descr list;
+  mutable b_conns : conn list;
+  b_peers : (string, Unix.sockaddr) Hashtbl.t;
+  b_outgoing : (string, conn) Hashtbl.t;
+  b_aliases : (string, string) Hashtbl.t;
+  b_pending : (string, (string, string) result -> unit) Hashtbl.t;
+  mutable b_next_id : int;
+  b_disks : (int, Disk.t) Hashtbl.t;
+}
+
+let now t () = Unix.gettimeofday () -. t.b_t0
+
+let engine t = Lazy.force !(t.b_engine)
+let net t = match t.b_net with Some n -> n | None -> assert false
+
+let close_conn t c =
+  if c.c_alive then begin
+    c.c_alive <- false;
+    (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+    t.b_conns <- List.filter (fun c' -> c' != c) t.b_conns;
+    Hashtbl.iter
+      (fun name c' -> if c' == c then Hashtbl.remove t.b_outgoing name)
+      (Hashtbl.copy t.b_outgoing)
+  end
+
+let write_all t c s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off < len then
+      match Unix.write c.c_fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) -> close_conn t c
+  in
+  go 0
+
+(* --- the RPC envelope ---
+
+   Q frames: ["Q"; id; src; dst; port; payload]   (request)
+   R frames: ["R"; id; marker ^ payload]          (reply; marker K=Ok, E=Error)
+
+   Replies return over the connection the request arrived on, so only the
+   caller needs to know addresses. *)
+
+let send_reply t c id result =
+  if c.c_alive then
+    let body = match result with Ok s -> "K" ^ s | Error e -> "E" ^ e in
+    write_all t c (frame (enc_fields [ "R"; id; body ]))
+
+let on_frame t c payload =
+  match dec_fields payload with
+  | Some [ "Q"; id; _src; dst; port; body ] ->
+      let dst =
+        match Hashtbl.find_opt t.b_aliases dst with Some local -> local | None -> dst
+      in
+      Net.dispatch (net t) ~dst ~port body (fun result -> send_reply t c id result)
+  | Some [ "R"; id; body ] -> (
+      match Hashtbl.find_opt t.b_pending id with
+      | None -> () (* caller timed out and was already answered *)
+      | Some k ->
+          Hashtbl.remove t.b_pending id;
+          if String.length body >= 1 && body.[0] = 'K' then
+            k (Ok (String.sub body 1 (String.length body - 1)))
+          else if String.length body >= 1 && body.[0] = 'E' then
+            k (Error (String.sub body 1 (String.length body - 1)))
+          else k (Error "malformed reply"))
+  | _ -> close_conn t c
+
+let drain_conn t c =
+  let rec go () =
+    match decode_frame c.c_buf c.c_off with
+    | None ->
+        (* Compact once the decoded prefix dominates the buffer. *)
+        if c.c_off > 65536 then begin
+          let rest = Buffer.sub c.c_buf c.c_off (Buffer.length c.c_buf - c.c_off) in
+          Buffer.clear c.c_buf;
+          Buffer.add_string c.c_buf rest;
+          c.c_off <- 0
+        end
+    | Some (payload, next) ->
+        c.c_off <- next;
+        on_frame t c payload;
+        if c.c_alive then go ()
+    | exception Corrupt_stream -> close_conn t c
+  in
+  go ()
+
+let read_chunk = Bytes.create 65536
+
+let on_readable t c =
+  match Unix.read c.c_fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> close_conn t c
+  | n ->
+      Buffer.add_subbytes c.c_buf read_chunk 0 n;
+      drain_conn t c
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+
+let accept_conn t lfd =
+  match Unix.accept lfd with
+  | fd, _ ->
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      t.b_conns <- { c_fd = fd; c_buf = Buffer.create 4096; c_off = 0; c_alive = true } :: t.b_conns
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> ()
+
+let connect_to t name =
+  match Hashtbl.find_opt t.b_outgoing name with
+  | Some c when c.c_alive -> Some c
+  | _ -> (
+      match Hashtbl.find_opt t.b_peers name with
+      | None -> None
+      | Some addr -> (
+          let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+          match Unix.connect fd addr with
+          | () ->
+              Unix.setsockopt fd Unix.TCP_NODELAY true;
+              let c = { c_fd = fd; c_buf = Buffer.create 4096; c_off = 0; c_alive = true } in
+              t.b_conns <- c :: t.b_conns;
+              Hashtbl.replace t.b_outgoing name c;
+              Some c
+          | exception Unix.Unix_error (_, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              None))
+
+let rm_call t ~src ~dst ~port payload k =
+  match connect_to t dst with
+  | None -> () (* unreachable peer: the caller's timeout answers *)
+  | Some c ->
+      let id = Printf.sprintf "%016x" t.b_next_id in
+      t.b_next_id <- t.b_next_id + 1;
+      Hashtbl.replace t.b_pending id k;
+      write_all t c (frame (enc_fields [ "Q"; id; src; dst; port; payload ]))
+
+(* ------------------------------------------------------------------ *)
+(* The waiter: the engine's real-time run loop parks here between      *)
+(* timer deadlines; socket readiness is dispatched inline.             *)
+(* ------------------------------------------------------------------ *)
+
+let wait t ~until =
+  let fds = t.b_listeners @ List.map (fun c -> c.c_fd) t.b_conns in
+  if fds = [] && until = None then false
+  else begin
+    let timeout =
+      match until with None -> -1.0 | Some d -> Float.max 0.0 (d -. now t ())
+    in
+    (match Unix.select fds [] [] timeout with
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            if List.mem fd t.b_listeners then accept_conn t fd
+            else
+              match List.find_opt (fun c -> c.c_fd == fd && c.c_alive) t.b_conns with
+              | Some c -> on_readable t c
+              | None -> ())
+          ready
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Real stable storage: one directory per host, one file per WAL /     *)
+(* snapshot.  Appends buffer in memory (the page-cache analogue);      *)
+(* fsync writes the buffered tail and calls Unix.fsync, so the durable *)
+(* prefix on disk is exactly what the Disk contract promises —         *)
+(* abandoning the handle (a process crash) loses the unsynced tail,    *)
+(* mirroring the simulated device's crash semantics.                   *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.map (fun c -> if c = '/' || c = '\\' || c = '\x00' then '_' else c) name
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go dir
+
+type rfile = {
+  rf_path : string;
+  mutable rf_fd : Unix.file_descr;
+  rf_pending : Buffer.t;
+  mutable rf_durable : int;
+}
+
+let disk_ops dir =
+  mkdir_p dir;
+  let files : (string, rfile) Hashtbl.t = Hashtbl.create 4 in
+  let rfile name =
+    let name = sanitize name in
+    match Hashtbl.find_opt files name with
+    | Some f -> f
+    | None ->
+        let path = Filename.concat dir name in
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+        let durable = (Unix.fstat fd).Unix.st_size in
+        let f = { rf_path = path; rf_fd = fd; rf_pending = Buffer.create 256; rf_durable = durable }
+        in
+        Hashtbl.add files name f;
+        f
+  in
+  {
+    Disk.o_append = (fun ~file data -> Buffer.add_string (rfile file).rf_pending data);
+    o_fsync =
+      (fun ~file k ->
+        let f = rfile file in
+        if Buffer.length f.rf_pending > 0 then begin
+          let data = Buffer.contents f.rf_pending in
+          Buffer.clear f.rf_pending;
+          ignore (Unix.lseek f.rf_fd 0 Unix.SEEK_END);
+          let bytes = Bytes.of_string data in
+          let rec go off =
+            if off < Bytes.length bytes then
+              go (off + Unix.write f.rf_fd bytes off (Bytes.length bytes - off))
+          in
+          go 0;
+          Unix.fsync f.rf_fd;
+          f.rf_durable <- f.rf_durable + String.length data
+        end;
+        k ());
+    o_write_atomic =
+      (fun ~file data k ->
+        let f = rfile file in
+        let tmp = f.rf_path ^ ".tmp" in
+        let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+        let bytes = Bytes.of_string data in
+        let rec go off =
+          if off < Bytes.length bytes then
+            go (off + Unix.write fd bytes off (Bytes.length bytes - off))
+        in
+        go 0;
+        Unix.fsync fd;
+        Unix.close fd;
+        Unix.rename tmp f.rf_path;
+        Unix.close f.rf_fd;
+        f.rf_fd <- Unix.openfile f.rf_path [ Unix.O_RDWR ] 0o644;
+        f.rf_durable <- String.length data;
+        (* Bytes appended while the replace was "in flight" stay pending:
+           the next fsync lands them after the new contents, which is the
+           contract the compacting callers rely on. *)
+        k ());
+    o_truncate =
+      (fun ~file ->
+        let f = rfile file in
+        Unix.ftruncate f.rf_fd 0;
+        Buffer.clear f.rf_pending;
+        f.rf_durable <- 0);
+    o_read =
+      (fun ~file ->
+        let f = rfile file in
+        ignore (Unix.lseek f.rf_fd 0 Unix.SEEK_SET);
+        let b = Bytes.create f.rf_durable in
+        let rec go off =
+          if off < f.rf_durable then
+            match Unix.read f.rf_fd b off (f.rf_durable - off) with
+            | 0 -> off
+            | n -> go (off + n)
+          else off
+        in
+        let got = go 0 in
+        Bytes.sub_string b 0 got);
+    o_durable_size = (fun ~file -> (rfile file).rf_durable);
+    o_unsynced = (fun ~file -> Buffer.length (rfile file).rf_pending);
+    o_scan_delay = (fun ~bytes:_ -> 0.0);
+    o_files =
+      (fun () ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun n -> not (Filename.check_suffix n ".tmp")));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let default_data_dir () =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "oasis-unix-%d" (Unix.getpid ()))
+
+let create ?data_dir ?seed ?(latency = Net.Fixed 0.0) () =
+  let t =
+    {
+      b_engine = ref (lazy (assert false));
+      b_net = None;
+      b_t0 = Unix.gettimeofday ();
+      b_data_dir = (match data_dir with Some d -> d | None -> default_data_dir ());
+      b_listeners = [];
+      b_conns = [];
+      b_peers = Hashtbl.create 8;
+      b_outgoing = Hashtbl.create 8;
+      b_aliases = Hashtbl.create 8;
+      b_pending = Hashtbl.create 64;
+      b_next_id = 0;
+      b_disks = Hashtbl.create 8;
+    }
+  in
+  let source =
+    { Engine.src_now = now t; src_wait = (fun ~until -> wait t ~until) }
+  in
+  let engine = Engine.create ~source () in
+  t.b_engine := lazy engine;
+  let net = Net.create ?seed ~latency engine in
+  t.b_net <- Some net;
+  Net.set_remote net
+    (Some { Net.rm_call = (fun ~src ~dst ~port payload k -> rm_call t ~src ~dst ~port payload k) });
+  t
+
+let data_dir t = t.b_data_dir
+
+let listen t ?(port = 0) () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  t.b_listeners <- fd :: t.b_listeners;
+  match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+
+let peer t ~name ~port =
+  Hashtbl.replace t.b_peers name (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+
+let alias t ~name ~local = Hashtbl.replace t.b_aliases name local
+
+let disk t host =
+  let addr = Net.host_addr host in
+  match Hashtbl.find_opt t.b_disks addr with
+  | Some d -> d
+  | None ->
+      let dir = Filename.concat t.b_data_dir (sanitize (Net.host_name host)) in
+      let d = Disk.create_ops (net t) host (disk_ops dir) in
+      Hashtbl.add t.b_disks addr d;
+      d
+
+let reopen_disk t host =
+  (* Forget the open handle — in-memory pending buffers and all — and
+     re-attach to the same directory: the new device sees exactly the
+     durable bytes, which is what surviving a process crash means. *)
+  Hashtbl.remove t.b_disks (Net.host_addr host);
+  disk t host
+
+let shutdown t =
+  List.iter (fun c -> close_conn t c) t.b_conns;
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.b_listeners;
+  t.b_listeners <- []
+
+let pack t : Backend.t =
+  let e = engine t and n = net t in
+  (module struct
+    let name = "unix"
+    let clock_domain = `Wall
+    let engine = e
+    let net = n
+    let disk host = disk t host
+    let run ?until () = Engine.run ?until e
+    let stop () = Engine.stop e
+  end)

@@ -4,24 +4,47 @@ type event = { ev_at : float; ev_seq : int; ev_tag : string }
 
 type scheduler = event list -> int option
 
+(* An external substrate driving the engine in real time (see
+   [Oasis_backend.Backend_unix]).  Without one, the engine is the classic
+   deterministic discrete-event simulator: time is virtual and jumps from
+   deadline to deadline. *)
+type source = {
+  src_now : unit -> float;
+      (* monotonic seconds; the engine never writes time back *)
+  src_wait : until:float option -> bool;
+      (* block until roughly [until] (absolute, in [src_now]'s timebase) or
+         until external work (e.g. socket readiness) was dispatched;
+         [until = None] means "no pending timer — wait for external work
+         only".  Returns [false] when no external work can ever arrive
+         (no I/O sources registered), which lets [run] terminate. *)
+}
+
 type t = {
   mutable now : float;
   queue : timer Oasis_util.Pqueue.t;
   mutable scheduler : scheduler option;
+  source : source option;
+  mutable stopped : bool;
 }
 
-let create () = { now = 0.0; queue = Oasis_util.Pqueue.create (); scheduler = None }
+let create ?source () =
+  { now = 0.0; queue = Oasis_util.Pqueue.create (); scheduler = None; source; stopped = false }
 
-let now t = t.now
+let now t = match t.source with Some s -> s.src_now () | None -> t.now
+
+let real_time t = t.source <> None
 
 let schedule_at t ?(tag = "") ~at action =
-  let at = if at < t.now then t.now else at in
+  let at =
+    let n = now t in
+    if at < n then n else at
+  in
   Oasis_util.Pqueue.push t.queue at { alive = true; action; tag }
 
-let schedule t ?tag ~delay action = schedule_at t ?tag ~at:(t.now +. delay) action
+let schedule t ?tag ~delay action = schedule_at t ?tag ~at:(now t +. delay) action
 
 let timer t ?(tag = "") ~delay action =
-  let at = t.now +. max 0.0 delay in
+  let at = now t +. max 0.0 delay in
   let tm = { alive = true; action; tag } in
   Oasis_util.Pqueue.push t.queue at tm;
   tm
@@ -83,23 +106,69 @@ let step t =
               | Some (at, tm) -> exec t at tm
               | None -> default_step t (* stale choice; fall back to earliest *))))
 
-let run ?until t =
+let stop t = t.stopped <- true
+
+(* Real-time loop: timers fire when the external clock passes their
+   deadline; between deadlines the source waits (dispatching I/O).  The
+   single-step scheduler hook does not apply here — adversarial reordering
+   is a virtual-time instrument. *)
+let run_real t s ?until () =
+  t.stopped <- false;
   let continue = ref true in
-  while !continue do
-    match Oasis_util.Pqueue.peek t.queue with
-    | None ->
-        (match until with Some u when u > t.now -> t.now <- u | _ -> ());
-        continue := false
-    | Some (at, _) -> (
-        match until with
-        | Some u when at > u ->
-            (* With a scheduler installed, [now] may already have run ahead
-               of [until] (the scheduler executes events out of earliest-
-               first order); never move time backwards. *)
-            t.now <- max t.now u;
-            continue := false
-        | _ -> ignore (step t))
+  while !continue && not t.stopped do
+    t.now <- s.src_now ();
+    (match until with
+    | Some u when t.now >= u -> continue := false
+    | _ ->
+        (* Fire everything due, refreshing the clock between events so a
+           slow handler does not delay noticing later deadlines. *)
+        let rec fire () =
+          if not t.stopped then
+            match Oasis_util.Pqueue.peek t.queue with
+            | Some (at, _) when at <= t.now -> (
+                match Oasis_util.Pqueue.pop t.queue with
+                | Some (at, tm) ->
+                    ignore (exec t at tm);
+                    t.now <- s.src_now ();
+                    fire ()
+                | None -> ())
+            | _ -> ()
+        in
+        fire ();
+        if t.stopped then continue := false
+        else
+          let deadline =
+            match (Oasis_util.Pqueue.peek t.queue, until) with
+            | Some (at, _), Some u -> Some (Float.min at u)
+            | Some (at, _), None -> Some at
+            | None, Some u -> Some u
+            | None, None -> None
+          in
+          match deadline with
+          | None -> if not (s.src_wait ~until:None) then continue := false
+          | Some d -> ignore (s.src_wait ~until:(Some d)))
   done
+
+let run ?until t =
+  match t.source with
+  | Some s -> run_real t s ?until ()
+  | None ->
+      let continue = ref true in
+      while !continue do
+        match Oasis_util.Pqueue.peek t.queue with
+        | None ->
+            (match until with Some u when u > t.now -> t.now <- u | _ -> ());
+            continue := false
+        | Some (at, _) -> (
+            match until with
+            | Some u when at > u ->
+                (* With a scheduler installed, [now] may already have run ahead
+                   of [until] (the scheduler executes events out of earliest-
+                   first order); never move time backwards. *)
+                t.now <- max t.now u;
+                continue := false
+            | _ -> ignore (step t))
+      done
 
 let pending t = Oasis_util.Pqueue.length t.queue
 

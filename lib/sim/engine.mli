@@ -13,10 +13,32 @@
 
 type t
 
-val create : unit -> t
+type source = {
+  src_now : unit -> float;
+  src_wait : until:float option -> bool;
+}
+(** An external substrate driving the engine in {e real} time — the seam the
+    pluggable backend plugs into ({!Oasis_backend.Backend_unix}).  [src_now]
+    is a monotonic clock in seconds; [src_wait ~until] blocks until roughly
+    the absolute instant [until] (in [src_now]'s timebase) or until external
+    work (socket readiness) was dispatched, and returns [false] only when no
+    external work can ever arrive again — which lets {!run} terminate.
+    Without a source the engine is the deterministic discrete-event
+    simulator: virtual time jumps from deadline to deadline. *)
+
+val create : ?source:source -> unit -> t
+(** [create ()] is the deterministic simulator, byte-identical to the
+    pre-backend engine.  [create ~source ()] runs the same timer queue
+    against the external clock and waiter. *)
 
 val now : t -> float
-(** Current virtual time. *)
+(** Current time: virtual by default, [src_now ()] under a source.  This is
+    the {e single} time source for the whole stack — traces, latency
+    histograms and host clocks all read it — so wall-clock runs report
+    wall-clock latencies with no further threading. *)
+
+val real_time : t -> bool
+(** Whether a source is installed (time is wall-clock, not virtual). *)
 
 val schedule : t -> ?tag:string -> delay:float -> (unit -> unit) -> unit
 (** Run the closure [delay] seconds from now.  Negative delays are clamped to
@@ -46,7 +68,15 @@ val step : t -> bool
 val run : ?until:float -> t -> unit
 (** Drain the event queue, or stop once the next event lies beyond [until]
     (advancing [now] to [until] in that case; [now] is never moved
-    backwards). *)
+    backwards).  Under a source, the loop instead fires timers as the real
+    clock passes their deadlines, waits in [src_wait] between deadlines
+    (dispatching I/O), and returns when [until] is reached, {!stop} is
+    called from a handler, or the queue is empty and the source reports no
+    further external work. *)
+
+val stop : t -> unit
+(** Make a running real-time {!run} loop return after the current handler.
+    No effect on the virtual-time loop (which always drains). *)
 
 val pending : t -> int
 

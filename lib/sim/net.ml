@@ -4,6 +4,15 @@ type latency = Fixed of float | Uniform of float * float | Exponential of float
 
 type host = { addr : int; name : string; clock : Clock.t }
 
+(* The remote-transport hook a non-sim backend installs: how to reach a
+   named host this process does not own.  The closure owns the wire
+   (framing, connections); {!call} owns the timeout and trace-ctx
+   discipline, so both backends present identical semantics. *)
+type remote = {
+  rm_call :
+    src:string -> dst:string -> port:string -> string -> ((string, string) result -> unit) -> unit;
+}
+
 type t = {
   engine : Engine.t;
   stats : Stats.t;
@@ -16,6 +25,9 @@ type t = {
   partitions : (int * int, unit) Hashtbl.t;
   mutable hosts : host list;
   mutable next_addr : int;
+  bindings : (string * string, string -> ((string, string) result -> unit) -> unit) Hashtbl.t;
+      (* (host name, port) -> serialized-request handler *)
+  mutable remote : remote option;
 }
 
 let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
@@ -34,6 +46,8 @@ let create ?(seed = 42L) ?(latency = Fixed 0.002) engine =
     partitions = Hashtbl.create 16;
     hosts = [];
     next_addr = 0;
+    bindings = Hashtbl.create 16;
+    remote = None;
   }
 
 let engine t = t.engine
@@ -192,3 +206,53 @@ let rpc_async_retry t ?(category = "rpc") ?size ?(timeout = 2.0) ?attempts ?back
 let local_call t ?(category = "local") f =
   Stats.incr t.stats category;
   f ()
+
+(* --- named-port messaging (the backend-portable RPC surface) --- *)
+
+let set_remote t rm = t.remote <- rm
+
+let bind t host ~port handler = Hashtbl.replace t.bindings (host.name, port) handler
+
+let unbind t host ~port = Hashtbl.remove t.bindings (host.name, port)
+
+let dispatch t ~dst ~port payload reply =
+  match Hashtbl.find_opt t.bindings (dst, port) with
+  | Some handler -> handler payload reply
+  | None -> reply (Error (Printf.sprintf "no handler bound at %s:%s" dst port))
+
+let call t ?(category = "call") ?size ?(timeout = 2.0) ~src ~dst ~port payload k =
+  let size = match size with Some s -> s | None -> String.length payload + 64 in
+  match find_host t dst with
+  | Some dh ->
+      (* Both endpoints live in this process: the request rides the
+         ordinary (sim-latency, loss, partition, fault-aware) rpc path. *)
+      rpc_async t ~category ~size ~timeout ~src ~dst:dh
+        (fun reply -> dispatch t ~dst ~port payload reply)
+        k
+  | None -> (
+      match t.remote with
+      | None ->
+          Engine.schedule t.engine ~tag:("t:" ^ src.name) ~delay:0.0 (fun () ->
+              k (Error ("unknown host: " ^ dst)))
+      | Some rm ->
+          account t category size;
+          let done_ = ref false in
+          let ctx = Trace.current t.trace in
+          Engine.schedule t.engine ~tag:("t:" ^ src.name) ~delay:timeout (fun () ->
+              if not !done_ then begin
+                done_ := true;
+                Stats.incr t.stats (category ^ ".timeout");
+                Trace.with_ctx t.trace ctx (fun () -> k (Error "timeout"))
+              end);
+          rm.rm_call ~src:src.name ~dst ~port payload (fun result ->
+              if !done_ then Stats.incr t.stats (category ^ ".late_reply")
+              else begin
+                done_ := true;
+                Trace.with_ctx t.trace ctx (fun () -> k result)
+              end))
+
+let call_retry t ?(category = "call") ?size ?(timeout = 2.0) ?attempts ?backoff ?max_backoff ~src
+    ~dst ~port payload k =
+  retry_loop t ~category ?attempts ?backoff ?max_backoff ~src
+    (fun k1 -> call t ~category ?size ~timeout ~src ~dst ~port payload k1)
+    k

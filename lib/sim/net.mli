@@ -150,3 +150,78 @@ val rpc_async_retry :
 
 val local_call : t -> ?category:string -> (unit -> 'a) -> 'a
 (** Same-host invocation: zero latency, still accounted. *)
+
+(** {1 Named-port messaging (backend-portable RPC)}
+
+    The closure-based {!rpc} family above only works when both endpoints
+    live in one address space.  The named-port surface below carries
+    {e serialized} requests instead, so the same calling code runs on the
+    sim (in-process delivery through the ordinary latency/loss/fault
+    machinery) and on a real backend (framed bytes over a socket to a host
+    this process does not own).  Protocol adapters ({!Oasis_core.Remote})
+    are written against this surface once and gain both deployments. *)
+
+type remote = {
+  rm_call :
+    src:string -> dst:string -> port:string -> string -> ((string, string) result -> unit) -> unit;
+}
+(** The transport hook a real backend installs: deliver one serialized
+    request to a named remote host and eventually hand back one reply.
+    The hook owns the wire (framing, connections, incoming dispatch);
+    {!call} owns timeouts, late-reply accounting and trace-ctx restoration,
+    so both backends present identical RPC semantics.  A transport that
+    cannot reach [dst] simply never calls back — the caller's timeout
+    fires. *)
+
+val set_remote : t -> remote option -> unit
+
+val bind :
+  t -> host -> port:string -> (string -> ((string, string) result -> unit) -> unit) -> unit
+(** Register the serialized-request handler for [port] at a local host.
+    The handler may reply asynchronously, from any later engine event. *)
+
+val unbind : t -> host -> port:string -> unit
+
+val dispatch :
+  t -> dst:string -> port:string -> string -> ((string, string) result -> unit) -> unit
+(** Deliver an incoming serialized request to a locally-bound handler —
+    the entry point a backend's socket loop calls for requests arriving
+    off the wire.  Unknown [dst]/[port] answers an [Error] rather than
+    raising. *)
+
+val call :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  src:host ->
+  dst:string ->
+  port:string ->
+  string ->
+  ((string, string) result -> unit) ->
+  unit
+(** One serialized request/response to the named host.  When [dst] is a
+    host of this process, this is {!rpc_async} onto the port's bound
+    handler (sim latency, loss, partitions and crashes all apply); when it
+    is not and a remote transport is installed, the request crosses the
+    wire.  Timeout semantics, [".timeout"]/[".late_reply"] accounting and
+    trace-ctx propagation are identical on both paths.  Without a
+    transport, unknown hosts answer [Error "unknown host: ..."]. *)
+
+val call_retry :
+  t ->
+  ?category:string ->
+  ?size:int ->
+  ?timeout:float ->
+  ?attempts:int ->
+  ?backoff:float ->
+  ?max_backoff:float ->
+  src:host ->
+  dst:string ->
+  port:string ->
+  string ->
+  ((string, string) result -> unit) ->
+  unit
+(** {!call} with the {!rpc_retry} discipline (exponential backoff, seeded
+    jitter, [".attempt"]/[".giveup"] accounting).  Handlers must be
+    idempotent: the request may execute more than once. *)

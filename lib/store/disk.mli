@@ -35,6 +35,36 @@ val create :
     (default 1e8); [read_bandwidth] the sequential recovery-scan
     throughput (default 2e8). *)
 
+type ops = {
+  o_append : file:string -> string -> unit;
+  o_fsync : file:string -> (unit -> unit) -> unit;
+  o_write_atomic : file:string -> string -> (unit -> unit) -> unit;
+  o_truncate : file:string -> unit;
+  o_read : file:string -> string;
+  o_durable_size : file:string -> int;
+  o_unsynced : file:string -> int;
+  o_scan_delay : bytes:int -> float;
+  o_files : unit -> string list;
+}
+(** A real stable-storage device, injected by a backend
+    ({!Oasis_backend.Backend_unix}): the same contract as the simulated
+    device — [o_append] buffers, [o_fsync] makes the buffered prefix
+    durable and calls back (synchronously is fine), [o_read] returns the
+    durable prefix only — implemented against actual files.  A closure
+    record rather than a functor keeps [lib/store] free of any unix
+    dependency, so every existing test and model-checking schedule stays
+    deterministic. *)
+
+val create_ops : Oasis_sim.Net.t -> Oasis_sim.Net.host -> ops -> t
+(** Wrap a real device behind the {!t} interface.  Byte accounting still
+    lands in the network's stats; fsync latency histograms record
+    {e measured} wall-clock costs read off the engine's backend clock
+    (meaningful because {!Oasis_sim.Engine.now} dispatches to the backend
+    time source). *)
+
+val real : t -> bool
+(** Whether this device is ops-backed (real files) rather than simulated. *)
+
 val host : t -> Oasis_sim.Net.host
 val net : t -> Oasis_sim.Net.t
 
