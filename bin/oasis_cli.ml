@@ -82,8 +82,46 @@ let lint_cmd =
              holder of $(docv) can go on to acquire that is not derivable from the \
              axioms alone.")
   in
+  let escalation =
+    Arg.(
+      value
+      & opt ~vopt:(Some "all") (some string) None
+      & info [ "escalation" ] ~docv:"HOLDER"
+          ~doc:
+            "Run the symbolic escalation prover from $(docv) (SVC.ROLE), or from \
+             every bootstrap and non-axiom-derivable role when $(docv) is \
+             $(b,all) (the default when the option is given bare).  Each \
+             reachable target is reported with its witness chain's verdicts \
+             (OASIS006-008).")
+  in
+  let witness =
+    Arg.(
+      value & flag
+      & info [ "witness" ] ~doc:"Print each escalation chain hop by hop (implied by --confirm)")
+  in
+  let confirm =
+    Arg.(
+      value & flag
+      & info [ "confirm" ]
+          ~doc:
+            "Compile every witness chain into a model-checker scenario and run it \
+             under the explorer; exit 4 if any chain is refuted (a static/dynamic \
+             disagreement).")
+  in
+  let threshold =
+    Arg.(
+      value & opt int 1
+      & info [ "collusion-threshold" ] ~docv:"N"
+          ~doc:"Arm OASIS007 for chains needing at most $(docv) colluding principals")
+  in
   let service_name path = Filename.remove_extension (Filename.basename path) in
-  let run paths strict json reach =
+  let parse_node spec =
+    match String.index_opt spec '.' with
+    | None -> None
+    | Some i ->
+        Some (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+  in
+  let run paths strict json reach escalation witness confirm threshold =
     let parsed, broken =
       List.partition_map
         (fun path ->
@@ -109,7 +147,7 @@ let lint_cmd =
         paths
     in
     let fed = FL.make parsed in
-    let diags = broken @ FL.check ~per_file:true fed in
+    let diags = broken @ FL.check ~per_file:true ~collusion_threshold:threshold fed in
     let count sev = List.length (List.filter (fun d -> d.Analyze.severity = sev) diags) in
     let errors = count Analyze.Error
     and warnings = count Analyze.Warning
@@ -118,14 +156,96 @@ let lint_cmd =
     let escal =
       match reach with
       | None -> None
-      | Some spec -> (
-          match String.index_opt spec '.' with
-          | None -> None
-          | Some i ->
-              let holder =
-                (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
-              in
-              Some (holder, FL.escalation fed ~holder))
+      | Some spec ->
+          Option.map (fun holder -> (holder, FL.escalation fed ~holder)) (parse_node spec)
+    in
+    (* --escalation: witness sweep (optionally model-checker confirmed) *)
+    let module W = Oasis_mc.Witness in
+    let base = FL.reachable fed in
+    let sweep =
+      match escalation with
+      | None -> None
+      | Some spec ->
+          let holders =
+            if spec = "all" then FL.default_holders fed
+            else match parse_node spec with Some h -> [ h ] | None -> []
+          in
+          Some
+            (List.concat_map
+               (fun holder ->
+                 List.map
+                   (fun w -> (w, if confirm then Some (W.confirm ~fed w) else None))
+                   (FL.witnesses fed ~holder))
+               holders)
+    in
+    let refuted =
+      match sweep with
+      | None -> 0
+      | Some rows ->
+          List.length
+            (List.filter
+               (fun (_, v) -> match v with Some (W.Refuted _) -> true | _ -> false)
+               rows)
+    in
+    let witness_json (w, verdict) =
+      let hop_json (h : FL.hop) =
+        Json.Obj
+          ([
+             ("node", Json.Str (FL.node_str h.FL.h_node));
+             ("via", Json.Str (FL.node_str h.FL.h_via));
+             ("starred", Json.Bool h.FL.h_via_starred);
+             ("file", Json.Str h.FL.h_file);
+             ("line", Json.Int h.FL.h_line);
+           ]
+          @
+          match h.FL.h_elector with
+          | None -> []
+          | Some (n, _) -> [ ("elector", Json.Str (FL.node_str n)) ])
+      in
+      Json.Obj
+        ([
+           ("holder", Json.Str (FL.node_str w.FL.w_holder));
+           ("target", Json.Str (FL.node_str w.FL.w_target));
+           ("escalation", Json.Bool (not (Hashtbl.mem base w.FL.w_target)));
+           ("carried", Json.Bool w.FL.w_carried);
+           ("colluders", Json.Int w.FL.w_colluders);
+           ( "codes",
+             Json.Arr
+               (List.map
+                  (fun c -> Json.Str c)
+                  (FL.witness_codes ~collusion_threshold:threshold w)) );
+           ("hops", Json.Arr (List.map hop_json w.FL.w_hops));
+         ]
+        @
+        match verdict with
+        | None -> []
+        | Some (W.Confirmed { vf_runs; vf_exhaustive }) ->
+            [
+              ( "confirm",
+                Json.Obj
+                  [
+                    ("status", Json.Str "confirmed");
+                    ("runs", Json.Int vf_runs);
+                    ("exhaustive", Json.Bool vf_exhaustive);
+                  ] );
+            ]
+        | Some (W.Refuted { vf_runs; vf_invariant; vf_detail }) ->
+            [
+              ( "confirm",
+                Json.Obj
+                  [
+                    ("status", Json.Str "refuted");
+                    ("runs", Json.Int vf_runs);
+                    ("invariant", Json.Str vf_invariant);
+                    ("detail", Json.Str vf_detail);
+                  ] );
+            ]
+        | Some (W.Uncompilable reason) ->
+            [
+              ( "confirm",
+                Json.Obj [ ("status", Json.Str "uncompilable"); ("reason", Json.Str reason) ]
+              );
+            ])
     in
     if json then
       print_endline
@@ -144,17 +264,24 @@ let lint_cmd =
                        ("ok", Json.Bool (not failed));
                      ] );
                ]
+              @ (match escal with
+                | None -> []
+                | Some (holder, nodes) ->
+                    [
+                      ( "escalation",
+                        Json.Obj
+                          [
+                            ("holder", Json.Str (FL.node_str holder));
+                            ("reaches", Json.Arr (List.map (fun n -> Json.Str (FL.node_str n)) nodes));
+                          ] );
+                    ])
               @
-              match escal with
+              match sweep with
               | None -> []
-              | Some (holder, nodes) ->
+              | Some rows ->
                   [
-                    ( "escalation",
-                      Json.Obj
-                        [
-                          ("holder", Json.Str (FL.node_str holder));
-                          ("reaches", Json.Arr (List.map (fun n -> Json.Str (FL.node_str n)) nodes));
-                        ] );
+                    ("witnesses", Json.Arr (List.map witness_json rows));
+                    ("refuted", Json.Int refuted);
                   ])))
     else begin
       List.iter (fun d -> print_endline (Analyze.diag_to_string d)) diags;
@@ -163,11 +290,39 @@ let lint_cmd =
       | Some (holder, nodes) ->
           Printf.printf "escalation: a holder of %s can also reach: %s\n" (FL.node_str holder)
             (match nodes with [] -> "(nothing)" | _ -> String.concat ", " (List.map FL.node_str nodes)));
+      (match sweep with
+      | None -> ()
+      | Some rows ->
+          List.iter
+            (fun ((w : FL.witness), verdict) ->
+              let codes = FL.witness_codes ~collusion_threshold:threshold w in
+              Printf.printf "witness: %s => %s%s (%d hop(s), %d colluder(s))%s\n"
+                (FL.node_str w.FL.w_holder) (FL.node_str w.FL.w_target)
+                (if Hashtbl.mem base w.FL.w_target then "" else " [escalation]")
+                (List.length w.FL.w_hops) w.FL.w_colluders
+                (match codes with [] -> "" | _ -> " " ^ String.concat "," codes);
+              if witness || confirm then
+                List.iter
+                  (fun (h : FL.hop) ->
+                    Printf.printf "  enter %s via %s%s%s at %s:%d\n" (FL.node_str h.FL.h_node)
+                      (FL.node_str h.FL.h_via)
+                      (if h.FL.h_via_starred then "*" else "")
+                      (match h.FL.h_elector with
+                      | None -> ""
+                      | Some (n, _) -> " elected by " ^ FL.node_str n)
+                      h.FL.h_file h.FL.h_line)
+                  w.FL.w_hops;
+              match verdict with
+              | None -> ()
+              | Some v -> Printf.printf "  confirm: %s\n" (Oasis_mc.Witness.verdict_str v))
+            rows;
+          if confirm then
+            Printf.printf "witnesses: %d chain(s), %d refuted\n" (List.length rows) refuted);
       Printf.printf "%d file(s): %d error(s), %d warning(s), %d info(s)%s\n" (List.length paths)
         errors warnings infos
         (if failed then " -- FAILED" else "")
     end;
-    if failed then 1 else 0
+    if refuted > 0 then 4 else if failed then 1 else 0
   in
   let doc = "Statically analyze RDL rolefiles and their cross-service role graph" in
   let man =
@@ -176,15 +331,26 @@ let lint_cmd =
       `P
         "Runs the per-rolefile analyzer (unbound variables, duplicate entries, \
          arity/type errors, unknown extension functions, unsatisfiable constraints, \
-         import hygiene: codes RDL001-RDL011) over every FILE, then federation-wide \
-         checks over all of them together (credential cycles with no bootstrap, \
-         unreachable roles, revocation gaps: codes OASIS001-OASIS005).";
+         subsumed statements, import hygiene: codes RDL001-RDL012) over every FILE, \
+         then federation-wide checks over all of them together (credential cycles \
+         with no bootstrap, unreachable roles, revocation gaps, escalation chains: \
+         codes OASIS001-OASIS008).";
+      `P
+        "$(b,--escalation) runs the symbolic prover: reachability over the \
+         cross-service role graph carrying per-path witness chains, with \
+         constraint-infeasible paths pruned.  $(b,--confirm) compiles each chain \
+         into a model-checker scenario (issue the holder, walk the chain, probe the \
+         target, fire the holder) and explores it, checking the static verdict \
+         dynamically.";
       `P
         "Exit status is 1 when any error-severity diagnostic is reported (with \
-         $(b,--strict), warnings gate too), 0 otherwise.";
+         $(b,--strict), warnings gate too), 4 when $(b,--confirm) refutes a \
+         witness chain, 0 otherwise.";
     ]
   in
-  Cmd.v (Cmd.info "lint" ~doc ~man) Term.(const run $ paths $ strict $ json $ reach)
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(const run $ paths $ strict $ json $ reach $ escalation $ witness $ confirm $ threshold)
 
 (* --- composite subcommand --- *)
 

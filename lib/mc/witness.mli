@@ -1,0 +1,62 @@
+(** Witness → scenario compiler: executable evidence for the symbolic
+    escalation prover.
+
+    [Oasis_core.Federation_lint] proves escalation chains symbolically; this
+    module makes each {!Oasis_core.Federation_lint.witness} {e executable}:
+    {!compile} turns the chain into a declarative {!Scenario.t} that issues
+    the holder (plus the chain's independent obligations and colluding
+    electors) through the §4.12 bootstrap, walks the chain hop by hop
+    through the real role-entry engine — elections via the §4.4 two-step
+    delegation protocol — probes that the target validates, then fires the
+    holder and asserts the OASIS006 verdict dynamically: a carried chain
+    must see the target revoked at the horizon, a revocation-blind chain
+    must see it survive.  {!confirm} runs the compiled scenario under
+    {!Explore.explore}; a refutation is a static/dynamic disagreement and
+    therefore a bug in either the prover or the engine. *)
+
+val walker : string
+(** The principal walking the chain (["mallory"]). *)
+
+(** A compiled witness: the scenario plus what its verdict means. *)
+type plan = {
+  pl_scenario : Scenario.t;
+  pl_target_key : string;  (** ["service.role"] of the escalation target *)
+  pl_expect_revoked : bool;
+      (** the dynamic OASIS006 verdict asserted after the holder fires:
+          carried chains cascade (target revoked), blind chains do not *)
+}
+
+val compile :
+  fed:Oasis_core.Federation_lint.t ->
+  Oasis_core.Federation_lint.witness ->
+  (plan, string) result
+(** Compile a witness against its federation.  [Error reason] when the
+    chain is not executable under the simulator: a hop, obligation or
+    elector role lives outside the federation, a constraint uses an
+    extension function (scenario services register none), the elector role
+    is not local to the hop's service (the engine only delegates local
+    roles), or the path constraint has no extractable model.  Concrete
+    argument values come from {!Oasis_rdl.Analyze.model} over the path
+    constraint, type-hinted by the federation's inferred signatures;
+    positive group-membership atoms are seeded into the hop services'
+    groups at instantiation. *)
+
+type verdict =
+  | Confirmed of { vf_runs : int; vf_exhaustive : bool }
+  | Refuted of { vf_runs : int; vf_invariant : string; vf_detail : string }
+  | Uncompilable of string
+
+val default_params : Explore.params
+(** {!Explore.default_params} narrowed to depth 6 / 2000 runs — witness
+    scenarios are fault-free and converge quickly. *)
+
+val confirm :
+  ?params:Explore.params ->
+  fed:Oasis_core.Federation_lint.t ->
+  Oasis_core.Federation_lint.witness ->
+  verdict
+(** {!compile} then explore.  [Refuted] carries the first counterexample's
+    invariant name and detail. *)
+
+val verdict_str : verdict -> string
+(** One-line rendering for CLI / CI reports. *)

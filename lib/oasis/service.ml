@@ -441,6 +441,17 @@ let assign_role_bits rolefile =
    hook is registered at creation time. *)
 let recover_ref : (t -> unit) ref = ref (fun _ -> ())
 
+(* Federation-wide lint hook.  [Federation_lint] depends on this module
+   (its [of_registry] reads registered services), so registration gating on
+   the OASIS00n codes cannot call it directly; the linter installs itself
+   here at link time.  Until then the hook reports nothing, which matches
+   the pre-federation-lint behaviour. *)
+let federation_linter :
+    (registry -> name:string -> rolefile:Ast.rolefile -> Analyze.diag list) ref =
+  ref (fun _ ~name:_ ~rolefile:_ -> [])
+
+let set_federation_linter f = federation_linter := f
+
 let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs = [])
     ?resolve_literal ?(sig_length = 16) ?(cache_validation = true)
     ?(compound_certificates = true) ?(fixpoint_entry = false) ?(heartbeat = 1.0)
@@ -475,6 +486,18 @@ let create net host reg ~name:sv_name ?(rolefile_id = "main") ~rolefile ?(funcs 
                   }
                 in
                 let diags = Analyze.check ~file:sv_name ~context parsed in
+                (* Federation-wide codes (OASIS001-008) over the already
+                   registered peers plus this service, keeping only the
+                   diagnostics anchored at this service: joining must not
+                   fail on a defect that is a peer's alone. *)
+                let diags =
+                  if register then
+                    diags
+                    @ List.filter
+                        (fun d -> String.equal d.Analyze.file sv_name)
+                        (!federation_linter reg ~name:sv_name ~rolefile:parsed)
+                  else diags
+                in
                 let gating = List.filter (Analyze.gates ~strict:(mode = `Strict)) diags in
                 (match gating with
                 | [] ->

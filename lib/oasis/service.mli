@@ -54,7 +54,10 @@ val create :
     statements, unsatisfiable constraints, unknown extension functions,
     arity/type errors) fail [create]; warnings are logged via {!Logs}.
     [`Strict] also fails on warnings; [`Off] skips the analyzer entirely
-    (the pre-lint behaviour).
+    (the pre-lint behaviour).  When {!Federation_lint} is linked, the gate
+    extends to the federation-wide codes (OASIS001-008) computed over the
+    already registered services plus the candidate, restricted to the
+    diagnostics anchored at the candidate itself.
 
     [sig_length]: signature length in hex chars (§4.2's per-service
     trade-off; default 16).  [cache_validation]: cache signature checks
@@ -87,6 +90,13 @@ val create :
 
 val name : t -> string
 val host : t -> Oasis_sim.Net.host
+
+val set_federation_linter :
+  (registry -> name:string -> rolefile:Oasis_rdl.Ast.rolefile -> Oasis_rdl.Analyze.diag list) ->
+  unit
+(** Install the federation-wide lint hook {!create} consults before
+    registering a service (the candidate rides along as an extra member).
+    Called by {!Federation_lint} at link time; not meant for user code. *)
 
 val add_sibling : t -> string -> unit
 (** Declare another registered service a {e sibling shard} of the same

@@ -22,7 +22,9 @@
     - [RDL008] — unknown group in an [in] constraint (warning);
     - [RDL009] — unused import (warning);
     - [RDL010] — object type used in a [def] but never imported (warning);
-    - [RDL011] — constraint is unsatisfiable, entry can never fire (error).
+    - [RDL011] — constraint is unsatisfiable, entry can never fire (error);
+    - [RDL012] — entry subsumed by an earlier same-head statement with a
+      strictly weaker constraint (warning).
 
     Federation-wide checks (cycles, reachability, revocation gaps) live in
     [Oasis.Federation_lint] and reuse this module's diagnostic type. *)
@@ -124,8 +126,12 @@ type facts = { mutable lo : int; mutable hi : int; mutable eqv : Value.t option;
 
 exception Conj_unsat
 
-let unsat_conjunct lits =
+(* Scan one DNF conjunct: verdict, the per-variable fact table, and the
+   positively-required [in] atoms (the group memberships a model of the
+   conjunct must provide — the witness compiler materialises them). *)
+let scan_conjunct lits =
   let vars : (string, facts) Hashtbl.t = Hashtbl.create 8 in
+  let pos_ins : (expr * string) list ref = ref [] in
   let opaque : (string, bool) Hashtbl.t = Hashtbl.create 8 in
   let certain = ref true in
   let fact v =
@@ -220,7 +226,9 @@ let unsat_conjunct lits =
   in
   let atom pol = function
     | Crel (op, a, b) -> if pol then rel op a b else rel (negate_rel op) a b
-    | Cin (e, g) -> register (Printf.sprintf "in:%s|%s" (expr_key e) g) pol
+    | Cin (e, g) ->
+        if pol then pos_ins := (e, g) :: !pos_ins;
+        register (Printf.sprintf "in:%s|%s" (expr_key e) g) pol
     | Csubset (Elit (Value.Set _ as va), Elit (Value.Set _ as vb)) ->
         if Value.set_subset va vb <> pol then raise Conj_unsat
     | Csubset (a, b) -> register (Printf.sprintf "sub:%s|%s" (expr_key a) (expr_key b)) pol
@@ -255,8 +263,12 @@ let unsat_conjunct lits =
         then raise Conj_unsat;
         if f.lo = f.hi && List.mem f.lo ne_ints then raise Conj_unsat)
       vars;
-    if !certain then `Sat else `Maybe
-  with Conj_unsat -> `Unsat
+    ((if !certain then `Sat else `Maybe), vars, List.rev !pos_ins)
+  with Conj_unsat -> (`Unsat, vars, [])
+
+let unsat_conjunct lits =
+  let verdict, _, _ = scan_conjunct lits in
+  verdict
 
 let sat c =
   match dnf false c with
@@ -266,6 +278,83 @@ let sat c =
       if List.exists (( = ) `Sat) verdicts then `Sat
       else if List.exists (( = ) `Maybe) verdicts then `Unknown
       else `Unsat
+
+(* [implies a b]: every model of [a] is a model of [b], proved by the
+   unsatisfiability of [a /\ not b].  Sound but incomplete (false means
+   "not proved"). *)
+let implies a b = sat (Cand (a, Cnot b)) = `Unsat
+
+(* ------------------------------------------------------------------ *)
+(* Best-effort model extraction.                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Pick a value different from everything in [nev]; bumping strategies per
+   value shape, giving up (best-effort) on shapes we cannot vary. *)
+let distinct_from nev v0 =
+  let bump = function
+    | Value.Int k -> Some (Value.Int (k + 1))
+    | Value.Str s -> Some (Value.Str (s ^ "x"))
+    | _ -> None
+  in
+  let rec go v n =
+    if n > List.length nev then v
+    else if List.exists (Value.equal v) nev then
+      match bump v with Some v' -> go v' (n + 1) | None -> v
+    else v
+  in
+  go v0 0
+
+(* An integer inside [f]'s interval avoiding its disequalities.  The scan
+   already proved the conjunct not unsatisfiable, so at most [length nev]
+   consecutive candidates are excluded. *)
+let pick_int f =
+  let excluded k = List.exists (Value.equal (Value.Int k)) f.nev in
+  let start = if f.lo > min_int then f.lo else min 0 f.hi in
+  let rec up k = if k > f.hi then None else if excluded k then up (k + 1) else Some k in
+  let rec down k = if k < f.lo then None else if excluded k then down (k - 1) else Some k in
+  match up start with
+  | Some k -> Value.Int k
+  | None -> ( match down start with Some k -> Value.Int k | None -> Value.Int start)
+
+(* Best-effort model of a constraint: the first DNF conjunct not proved
+   unsatisfiable yields a per-variable assignment (pinned values, interval
+   picks, [default] for free variables nudged off the disequality set) and
+   the positive group-membership atoms the conjunct requires.  [None] only
+   when the constraint is provably unsatisfiable or too wide to normalise.
+   The model is not guaranteed to satisfy opaque atoms — callers that need
+   certainty replay it dynamically (the witness compiler does). *)
+let model ?(default = fun _ -> Value.Str "w") c =
+  match dnf false c with
+  | exception Too_wide -> None
+  | conjuncts ->
+      let rec pick = function
+        | [] -> None
+        | lits :: rest -> (
+            match scan_conjunct lits with
+            | `Unsat, _, _ -> pick rest
+            | (`Sat | `Maybe), vars, ins ->
+                let assign : (string, Value.t) Hashtbl.t = Hashtbl.create 16 in
+                Hashtbl.iter
+                  (fun v f ->
+                    let value =
+                      match f.eqv with
+                      | Some value -> value
+                      | None ->
+                          if f.lo > min_int || f.hi < max_int then pick_int f
+                          else distinct_from f.nev (default v)
+                    in
+                    Hashtbl.replace assign v value)
+                  vars;
+                List.iter
+                  (fun v ->
+                    if not (Hashtbl.mem assign v) then Hashtbl.replace assign v (default v))
+                  (Ast.constr_vars c);
+                let bindings =
+                  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) assign [])
+                in
+                Some (bindings, ins))
+      in
+      pick conjuncts
 
 (* ------------------------------------------------------------------ *)
 (* Binding analysis (RDL001-RDL003).                                   *)
@@ -478,6 +567,38 @@ let check ?(file = "<rolefile>") ?(context = default_context) rolefile =
           add ~sev:Warning ~line:e.entry_line "RDL004"
             "entry duplicates the statement at line %d" first
       | None -> seen_entries := (key, e.entry_line) :: !seen_entries)
+    ents;
+
+  (* RDL012: subsumption.  A statement whose head, credentials, elector and
+     revoker structurally match an earlier statement's, and whose constraint
+     is provably *strictly stronger* than the earlier one's, can never add a
+     membership the earlier statement would not already have added (the
+     engine fires statements in order).  Exact duplicates are RDL004's. *)
+  let shape e = { e with entry_line = 0; constr = None } in
+  let seen_shapes : (entry * int * constr option) list ref = ref [] in
+  List.iter
+    (fun e ->
+      let k = shape e in
+      let subsumed_by (k', _, earlier) =
+        k' = k
+        &&
+        match (earlier, e.constr) with
+        | None, Some c ->
+            (* The earlier statement is unconditioned; unless the later
+               constraint is a tautology (then it is a de-facto duplicate),
+               it is strictly stronger. *)
+            sat (Cnot c) <> `Unsat
+        | Some c', Some c -> implies c c' && not (implies c' c)
+        | _, None -> false
+      in
+      (match List.find_opt subsumed_by !seen_shapes with
+      | Some (_, first, _) ->
+          add ~sev:Warning ~line:e.entry_line "RDL012"
+            "statement is subsumed by the statement at line %d (same head and \
+             credentials, strictly weaker constraint); it can never add a membership"
+            first
+      | None -> ());
+      seen_shapes := !seen_shapes @ [ (k, e.entry_line, e.constr) ])
     ents;
 
   (* RDL005/RDL006: arity and type checking via inference. *)

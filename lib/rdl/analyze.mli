@@ -19,6 +19,8 @@
     RDL009  warning   unused import
     RDL010  warning   object type used in a def but never imported
     RDL011  error     constraint unsatisfiable; statement never fires
+    RDL012  warning   statement subsumed by an earlier same-head statement
+                      with a strictly weaker constraint
     v}
 
     Federation-wide checks (credential cycles, unreachable roles, revocation
@@ -72,6 +74,30 @@ val sat : Ast.constr -> [ `Sat | `Unsat | `Unknown ]
     detection on identical opaque atoms.  [`Unsat] is a proof; [`Sat] is only
     returned when some conjunct is fully decided; anything else is
     [`Unknown]. *)
+
+val is_axiom : Ast.entry -> bool
+(** An entry with no credentials, no elector and no constraint: the
+    declaration idiom bootstrapped via [issue_arbitrary] (§4.12), never
+    fired by the matching engine. *)
+
+val implies : Ast.constr -> Ast.constr -> bool
+(** [implies a b] proves every model of [a] satisfies [b] (the
+    unsatisfiability of [a /\ not b]).  Sound but incomplete: [false] means
+    "not proved", not "does not imply". *)
+
+val model :
+  ?default:(string -> Value.t) ->
+  Ast.constr ->
+  ((string * Value.t) list * (Ast.expr * string) list) option
+(** Best-effort model of a constraint: a per-variable assignment read off
+    the first DNF conjunct not proved unsatisfiable (pinned equalities,
+    interval picks, [default] for free variables — default [fun _ -> Str
+    "w"] — nudged off the disequality set), plus the positive
+    group-membership atoms [(element, group)] the conjunct requires.  [None]
+    only when the constraint is provably unsatisfiable (or too wide to
+    normalise).  The model is not guaranteed to satisfy opaque atoms;
+    callers needing certainty must replay it dynamically (the witness
+    compiler in [Oasis_mc.Witness] does). *)
 
 val gates : strict:bool -> diag -> bool
 (** Should this diagnostic fail registration / a lint run?  Errors always

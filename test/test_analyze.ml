@@ -573,6 +573,207 @@ let test_roundtrip_generated () =
             (Pretty.to_string rf2)
   done
 
+(* --- RDL012: statements subsumed by an earlier, weaker same-head one --- *)
+
+let test_rdl012 () =
+  (* positive: the later statement's constraint is strictly stronger than
+     the earlier unconstrained one — it can never add a membership *)
+  let ds = lint "Base(u) <-\nX(u) <- Base(u)*\nX(u) <- Base(u)* : u = \"a\"\n" in
+  checki "one subsumption" 1 (count "RDL012" ds);
+  let d = diag "RDL012" ds in
+  checkb "warning" true (d.Analyze.severity = Analyze.Warning);
+  checki "anchored at the later statement" 3 d.Analyze.line;
+  (* positive: subsumption through implication between constraints *)
+  let ds = lint "Base(u) <-\nY(u) <- Base(u)* : u <> \"z\"\nY(u) <- Base(u)* : u = \"a\"\n" in
+  checkb "implied subsumption" true (has "RDL012" ds);
+  (* negative: incomparable constraints both contribute *)
+  checkb "incomparable" false
+    (has "RDL012" (lint "Base(u) <-\nZ(u) <- Base(u)* : u = \"a\"\nZ(u) <- Base(u)* : u = \"b\"\n"));
+  (* negative: weaker-later adds memberships; only RDL-clean order warns *)
+  checkb "weaker later is fine" false
+    (has "RDL012" (lint "Base(u) <-\nW(u) <- Base(u)* : u = \"a\"\nW(u) <- Base(u)*\n"));
+  (* negative: identical statements are RDL004's business, not RDL012's *)
+  let dup = lint "Base(u) <-\nD(u) <- Base(u) : u = \"a\"\nD(u) <- Base(u) : u = \"a\"\n" in
+  checkb "duplicate" true (has "RDL004" dup);
+  checkb "not subsumption" false (has "RDL012" dup);
+  (* negative: different credentials *)
+  checkb "different creds" false
+    (has "RDL012" (lint "Base(u) <-\nOther(u) <-\nV(u) <- Base(u)*\nV(u) <- Other(u)* : u = \"a\"\n"))
+
+(* --- every diagnostic from a parsed rolefile carries a source line --- *)
+
+let assert_lines_known where ds =
+  List.iter
+    (fun d ->
+      if d.Analyze.line <= 0 then
+        Alcotest.failf "%s: %s has no source line" where (Analyze.diag_to_string d))
+    ds
+
+let test_diag_lines_known () =
+  (* per-file: one source per diagnostic family *)
+  List.iter
+    (fun src -> assert_lines_known "per-file" (lint src))
+    [
+      "Member( <-";
+      "Base(u) <-\nLogin(u, h) <- Base(u) : h in hosts\n";
+      "Base(u) <-\nSloppy(u) <- Base(u) : v <- 7\n";
+      "Base(u) <-\nR(u) <- Base(u) : u <- \"a\" and u <- \"b\"\n";
+      "Base(u) <-\nDup(u) <- Base(u)\nDup(u) <- Base(u)\n";
+      "def Base(u) u: String\nBase(u, h) <-\n";
+      "Base(u) <-\nNever(u) <- Base(u) : x > 5 and x < 3\n";
+      "Base(u) <-\nX(u) <- Base(u)*\nX(u) <- Base(u)* : u = \"a\"\n";
+    ];
+  (* federation-wide: the planted escalation corpus covers OASIS001-008 *)
+  let fed =
+    FL.make
+      [
+        member "CorpA" "Boss(c) <-\nLocked(u) <- CorpB.Peer(u)*\nGold(u) <- Locked(u)* <| Boss(c)\n";
+        member "CorpB"
+          "Peer(u) <- CorpA.Locked(u)*\nPrize(u) <- CorpA.Locked(u)\nBridge(u) <- CorpA.Locked(u)* /\\ Outside.Badge(u)\n";
+      ]
+  in
+  let ds = FL.check ~per_file:true ~collusion_threshold:2 fed in
+  List.iter
+    (fun code -> checkb (code ^ " planted") true (has code ds))
+    [ "OASIS001"; "OASIS006"; "OASIS007"; "OASIS008" ];
+  assert_lines_known "federation" ds;
+  (* and the on-disk examples *)
+  let members =
+    Sys.readdir example_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".rdl")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let src =
+             In_channel.with_open_text (Filename.concat example_dir f) In_channel.input_all
+           in
+           { FL.fl_name = Filename.remove_extension f; fl_file = f; fl_rolefile = Parser.parse src })
+  in
+  assert_lines_known "examples" (FL.check ~per_file:true (FL.make members))
+
+(* --- symbolic prover: soundness and witness structure --- *)
+
+let test_prover_tightening () =
+  (* each hop satisfiable, the accumulated path constraint contradictory:
+     boolean bound reachable, symbolic prover prunes *)
+  let fed =
+    FL.make [ member "Inf" "A(u) <-\nB(u) <- A(u)* : u = \"a\"\nC(u) <- B(u)* : u = \"b\"\n" ]
+  in
+  let holder = ("Inf", "A") and target = ("Inf", "C") in
+  checkb "boolean bound keeps it" true (FL.boolean_can_reach fed ~holder ~target);
+  checkb "symbolic prover prunes it" false (FL.can_reach fed ~holder ~target);
+  checkb "the feasible prefix survives" true (FL.can_reach fed ~holder ~target:("Inf", "B"))
+
+let test_witness_structure () =
+  (* blind vs carried chains *)
+  let fed = FL.make [ member "G" "H(u) <-\nT(u) <- H(u)\nS(u) <- H(u)*\n" ] in
+  let wit target =
+    match List.find_opt (fun w -> w.FL.w_target = target) (FL.witnesses fed ~holder:("G", "H")) with
+    | Some w -> w
+    | None -> Alcotest.failf "no witness for %s" (FL.node_str target)
+  in
+  let blind = wit ("G", "T") and carried = wit ("G", "S") in
+  checkb "unstarred hop is blind" false blind.FL.w_carried;
+  checkb "starred hop carries" true carried.FL.w_carried;
+  checkb "blind chain raises OASIS006" true (List.mem "OASIS006" (FL.witness_codes blind));
+  checkb "carried chain does not" false (List.mem "OASIS006" (FL.witness_codes carried));
+  (* elector obligations count as colluders *)
+  let fed2 = FL.make [ member "E" "Boss(c) <-\nH(u) <-\nT(u) <- H(u)* <| Boss(c)\n" ] in
+  let w =
+    match
+      List.find_opt (fun w -> w.FL.w_target = ("E", "T")) (FL.witnesses fed2 ~holder:("E", "H"))
+    with
+    | Some w -> w
+    | None -> Alcotest.fail "no witness through the election"
+  in
+  checkb "holder plus elector" true (w.FL.w_colluders = 2);
+  checkb "within threshold 2" true
+    (List.mem "OASIS007" (FL.witness_codes ~collusion_threshold:2 w));
+  checkb "beyond threshold 1" false (List.mem "OASIS007" (FL.witness_codes w));
+  (match w.FL.w_hops with
+  | [ h ] -> checkb "elector obligation recorded" true (h.FL.h_elector <> None)
+  | hops -> Alcotest.failf "expected one hop, got %d" (List.length hops))
+
+let test_prover_soundness_generated () =
+  (* property: symbolic can_reach is never looser than the boolean bound,
+     over randomly generated federations *)
+  let rng = Random.State.make [| 0xE5CA; 7 |] in
+  let constrs = [ ""; ""; " : u = \"a\""; " : u <> \"a\""; " : u = \"b\"" ] in
+  for case = 1 to 30 do
+    let nsvc = 2 + Random.State.int rng 2 in
+    let nrole = 3 + Random.State.int rng 2 in
+    let members =
+      List.init nsvc (fun i ->
+          let buf = Buffer.create 128 in
+          for j = 0 to nrole - 1 do
+            if Random.State.int rng 4 = 0 then Buffer.add_string buf (Printf.sprintf "R%d(u) <-\n" j)
+            else begin
+              let si = Random.State.int rng nsvc and sj = Random.State.int rng nrole in
+              let star = if Random.State.bool rng then "*" else "" in
+              let c = List.nth constrs (Random.State.int rng (List.length constrs)) in
+              let prefix = if si = i then "" else Printf.sprintf "S%d." si in
+              Buffer.add_string buf
+                (Printf.sprintf "R%d(u) <- %sR%d(u)%s%s\n" j prefix sj star c)
+            end
+          done;
+          member (Printf.sprintf "S%d" i) (Buffer.contents buf))
+    in
+    let fed = FL.make members in
+    let nodes =
+      List.concat_map (fun i -> List.init nrole (fun j -> (Printf.sprintf "S%d" i, Printf.sprintf "R%d" j)))
+        (List.init nsvc Fun.id)
+    in
+    List.iter
+      (fun holder ->
+        List.iter
+          (fun target ->
+            if FL.can_reach fed ~holder ~target && not (FL.boolean_can_reach fed ~holder ~target)
+            then
+              Alcotest.failf "case %d: symbolic looser than boolean for %s -> %s" case
+                (FL.node_str holder) (FL.node_str target))
+          nodes;
+        (* and every escalation target carries a witness chain ending at it *)
+        List.iter
+          (fun w ->
+            match List.rev w.FL.w_hops with
+            | last :: _ -> checkb "chain ends at target" true (last.FL.h_node = w.FL.w_target)
+            | [] -> Alcotest.fail "empty witness chain")
+          (FL.escalation_witnesses fed ~holder))
+      nodes
+  done
+
+(* --- Service.create gating on the federation-wide codes --- *)
+
+let test_service_gating_federation () =
+  let mentions code e =
+    let n = String.length code in
+    let rec go i = i + n <= String.length e && (String.sub e i n = code || go (i + 1)) in
+    go 0
+  in
+  let _, net, reg = make_world () in
+  (match Service.create net (Net.add_host net "hA") reg ~name:"A" ~rolefile:"Base(u) <-\n" () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "A should register: %s" e);
+  (* a joining service referencing a role A lacks: OASIS003 gates at `Warn *)
+  (match
+     Service.create net (Net.add_host net "hB") reg ~name:"B" ~rolefile:"In(u) <- A.Nope(u)\n" ()
+   with
+  | Error e -> checkb "names OASIS003" true (mentions "OASIS003" e)
+  | Ok _ -> Alcotest.fail "federation error should gate registration");
+  (* the same reference to an unregistered service is outside the
+     federation: no error, registration proceeds *)
+  (match
+     Service.create net (Net.add_host net "hC") reg ~name:"C" ~rolefile:"In(u) <- Zed.Nope(u)\n" ()
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "external reference should not gate: %s" e);
+  (* escalation diagnostics stay warnings: logged, not fatal, at `Warn *)
+  match
+    Service.create net (Net.add_host net "hD") reg ~name:"D"
+      ~rolefile:"Locked(u) <- Zed.Key(u)*\nPrize(u) <- Locked(u)\n" ()
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "OASIS006 is a warning and should not gate: %s" e
+
 let () =
   Alcotest.run "analyze"
     [
@@ -595,6 +796,8 @@ let () =
           Alcotest.test_case "satisfiability engine" `Quick test_sat_direct;
           Alcotest.test_case "item lines" `Quick test_item_lines;
           Alcotest.test_case "located inference errors" `Quick test_infer_located_line;
+          Alcotest.test_case "RDL012 subsumed statements" `Quick test_rdl012;
+          Alcotest.test_case "diagnostic lines known" `Quick test_diag_lines_known;
         ] );
       ( "federation",
         [
@@ -607,6 +810,10 @@ let () =
           Alcotest.test_case "per-file toggle" `Quick test_federation_per_file;
           Alcotest.test_case "cross-service signatures" `Quick test_federation_external_sig;
           Alcotest.test_case "escalation queries" `Quick test_escalation;
+          Alcotest.test_case "symbolic tightening" `Quick test_prover_tightening;
+          Alcotest.test_case "witness structure" `Quick test_witness_structure;
+          Alcotest.test_case "soundness on generated federations" `Quick
+            test_prover_soundness_generated;
         ] );
       ( "service-gating",
         [
@@ -614,6 +821,7 @@ let () =
           Alcotest.test_case "warnings gate only strictly" `Quick test_service_gating_warnings;
           Alcotest.test_case "function universe" `Quick test_service_gating_funcs;
           Alcotest.test_case "registry enumeration" `Quick test_registry_services;
+          Alcotest.test_case "federation-wide gating" `Quick test_service_gating_federation;
         ] );
       ( "satellites",
         [

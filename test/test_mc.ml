@@ -159,6 +159,70 @@ let test_schedule_roundtrip () =
   | Error e -> Alcotest.failf "roundtrip: %s" e
   | Ok sf' -> checkb "roundtrip preserves everything" true (sf = sf')
 
+(* --- witness compiler: static chains confirmed dynamically --- *)
+
+module FL = Oasis_core.Federation_lint
+module Witness = Oasis_mc.Witness
+
+let example_dir =
+  List.find Sys.file_exists [ "../examples/rolefiles"; "examples/rolefiles" ]
+
+let examples_federation () =
+  Sys.readdir example_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".rdl")
+  |> List.sort compare
+  |> List.map (fun f ->
+         let src =
+           In_channel.with_open_text (Filename.concat example_dir f) In_channel.input_all
+         in
+         {
+           FL.fl_name = Filename.remove_extension f;
+           fl_file = f;
+           fl_rolefile = Oasis_rdl.Parser.parse src;
+         })
+  |> FL.make
+
+let test_witnesses_confirmed () =
+  (* every escalation chain the prover reports on the example federation
+     must survive its own compiled scenario: zero static/dynamic
+     disagreements (ISSUE acceptance) *)
+  let fed = examples_federation () in
+  let total = ref 0 in
+  List.iter
+    (fun holder ->
+      List.iter
+        (fun w ->
+          incr total;
+          match Witness.confirm ~fed w with
+          | Witness.Confirmed _ -> ()
+          | v ->
+              Alcotest.failf "%s => %s: %s" (FL.node_str w.FL.w_holder)
+                (FL.node_str w.FL.w_target) (Witness.verdict_str v))
+        (FL.witnesses fed ~holder))
+    (FL.default_holders fed);
+  checkb "chains were actually exercised" true (!total > 0)
+
+let test_witness_refutes_forgery () =
+  (* sanity that Confirmed is not vacuous: lie about revocation carrying
+     through a blind hop and the explorer must refute it *)
+  let fed =
+    FL.make
+      [
+        {
+          FL.fl_name = "G";
+          fl_file = "G.rdl";
+          fl_rolefile = Oasis_rdl.Parser.parse "H(u) <-\nT(u) <- H(u)\n";
+        };
+      ]
+  in
+  match FL.witnesses fed ~holder:("G", "H") with
+  | [ w ] -> (
+      checkb "hop is blind" false w.FL.w_carried;
+      match Witness.confirm ~fed { w with FL.w_carried = true } with
+      | Witness.Refuted _ -> ()
+      | v -> Alcotest.failf "forged carry flag not refuted: %s" (Witness.verdict_str v))
+  | ws -> Alcotest.failf "expected one witness, got %d" (List.length ws)
+
 let () =
   Alcotest.run "mc"
     [
@@ -183,6 +247,12 @@ let () =
         [
           Alcotest.test_case "found exhaustively, missed by 50 seeds" `Quick
             test_planted_bug_beyond_seed_sweeps;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "example-federation chains all confirmed" `Quick
+            test_witnesses_confirmed;
+          Alcotest.test_case "forged carry flag refuted" `Quick test_witness_refutes_forgery;
         ] );
       ( "regressions",
         [
